@@ -1,0 +1,154 @@
+//! Hardware prefetchers.
+
+use crate::LINE_BYTES;
+
+/// The L1 stride prefetcher of Table I.
+///
+/// Detects a repeated line-granular stride in the demand stream and,
+/// once confident, predicts the next `degree` strided lines.
+///
+/// # Example
+///
+/// ```
+/// use hipe_cache::StridePrefetcher;
+/// let mut p = StridePrefetcher::new(2);
+/// assert!(p.observe(0x000).is_empty());   // first touch
+/// assert!(p.observe(0x040).is_empty());   // stride learned
+/// let pred = p.observe(0x080);            // stride confirmed
+/// assert_eq!(pred, vec![0x0C0, 0x100]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    degree: usize,
+    last_line: Option<u64>,
+    stride: i64,
+    confident: bool,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher issuing up to `degree` predictions per
+    /// trigger. A degree of 0 disables it.
+    pub fn new(degree: usize) -> Self {
+        StridePrefetcher {
+            degree,
+            last_line: None,
+            stride: 0,
+            confident: false,
+        }
+    }
+
+    /// Observes a demand access to the line containing `addr`; returns
+    /// the line addresses to prefetch.
+    pub fn observe(&mut self, addr: u64) -> Vec<u64> {
+        let line = addr / LINE_BYTES * LINE_BYTES;
+        let mut out = Vec::new();
+        if self.degree == 0 {
+            return out;
+        }
+        if let Some(prev) = self.last_line {
+            if line == prev {
+                return out; // same line: no new information
+            }
+            let stride = line as i64 - prev as i64;
+            if stride == self.stride {
+                self.confident = true;
+            } else {
+                self.stride = stride;
+                self.confident = false;
+            }
+            if self.confident {
+                for d in 1..=self.degree as i64 {
+                    let target = line as i64 + self.stride * d;
+                    if target >= 0 {
+                        out.push(target as u64);
+                    }
+                }
+            }
+        }
+        self.last_line = Some(line);
+        out
+    }
+}
+
+/// The L2 stream prefetcher of Table I.
+///
+/// On a miss it fetches the next `depth` sequential lines — the classic
+/// next-N-lines streamer, which is what makes streaming scans on the
+/// x86 baseline bandwidth-bound rather than latency-bound.
+///
+/// # Example
+///
+/// ```
+/// use hipe_cache::StreamPrefetcher;
+/// let p = StreamPrefetcher::new(3);
+/// assert_eq!(p.on_miss(0x1000), vec![0x1040, 0x1080, 0x10C0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    depth: usize,
+}
+
+impl StreamPrefetcher {
+    /// Creates a streamer fetching `depth` lines ahead (0 disables).
+    pub fn new(depth: usize) -> Self {
+        StreamPrefetcher { depth }
+    }
+
+    /// Returns the lines to prefetch after a miss on the line
+    /// containing `addr`.
+    pub fn on_miss(&self, addr: u64) -> Vec<u64> {
+        let line = addr / LINE_BYTES * LINE_BYTES;
+        (1..=self.depth as u64).map(|d| line + d * LINE_BYTES).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_needs_two_confirmations() {
+        let mut p = StridePrefetcher::new(1);
+        assert!(p.observe(0).is_empty());
+        assert!(p.observe(64).is_empty());
+        assert_eq!(p.observe(128), vec![192]);
+    }
+
+    #[test]
+    fn stride_relearns_after_change() {
+        let mut p = StridePrefetcher::new(1);
+        p.observe(0);
+        p.observe(64);
+        p.observe(128); // confident at +64
+        assert!(p.observe(1024).is_empty()); // stride broken
+        assert!(p.observe(2048).is_empty()); // new stride observed once
+        assert_eq!(p.observe(3072), vec![4096]); // confident again
+    }
+
+    #[test]
+    fn negative_strides_supported() {
+        let mut p = StridePrefetcher::new(1);
+        p.observe(4096);
+        p.observe(4032);
+        assert_eq!(p.observe(3968), vec![3904]);
+    }
+
+    #[test]
+    fn repeated_same_line_is_ignored() {
+        let mut p = StridePrefetcher::new(2);
+        p.observe(0);
+        p.observe(64);
+        p.observe(128);
+        assert!(p.observe(130).is_empty()); // same line as 128
+        assert_eq!(p.observe(192), vec![256, 320]);
+    }
+
+    #[test]
+    fn disabled_prefetchers_return_nothing() {
+        let mut s = StridePrefetcher::new(0);
+        s.observe(0);
+        s.observe(64);
+        assert!(s.observe(128).is_empty());
+        assert!(StreamPrefetcher::new(0).on_miss(0).is_empty());
+    }
+}

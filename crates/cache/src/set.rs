@@ -1,0 +1,135 @@
+//! Set-associative tag array with LRU replacement.
+
+use crate::LINE_BYTES;
+
+/// A timing-model tag array: tracks presence and dirtiness of lines,
+/// not their data (data lives in the HMC's functional image).
+///
+/// # Example
+///
+/// ```
+/// use hipe_cache::SetArray;
+/// let mut a = SetArray::new(2, 2); // 2 sets x 2 ways
+/// assert!(!a.probe(0x000, false));
+/// a.fill(0x000);
+/// assert!(a.probe(0x000, false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetArray {
+    /// Per set: MRU-ordered vector of (line address, dirty).
+    sets: Vec<Vec<(u64, bool)>>,
+    ways: usize,
+}
+
+impl SetArray {
+    /// Creates an empty array of `sets` sets with `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be non-zero");
+        SetArray {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+        }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / LINE_BYTES) % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `line_addr`; on hit moves it to MRU, marks dirty if
+    /// `write`, and returns `true`.
+    pub fn probe(&mut self, line_addr: u64, write: bool) -> bool {
+        let set = self.set_of(line_addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(a, _)| a == line_addr) {
+            let (addr, dirty) = ways.remove(pos);
+            ways.insert(0, (addr, dirty || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up without disturbing LRU or dirtiness (diagnostics).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        self.sets[set].iter().any(|&(a, _)| a == line_addr)
+    }
+
+    /// Inserts `line_addr` as MRU and clean; returns the evicted
+    /// `(line, dirty)` victim, if the set was full.
+    pub fn fill(&mut self, line_addr: u64) -> Option<(u64, bool)> {
+        let ways = self.ways;
+        let set = self.set_of(line_addr);
+        let lines = &mut self.sets[set];
+        debug_assert!(!lines.iter().any(|&(a, _)| a == line_addr));
+        lines.insert(0, (line_addr, false));
+        if lines.len() > ways {
+            lines.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Marks a present line dirty (no-op when absent).
+    pub fn mark_dirty(&mut self, line_addr: u64) {
+        let set = self.set_of(line_addr);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == line_addr) {
+            e.1 = true;
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut a = SetArray::new(1, 2);
+        a.fill(0);
+        a.fill(64);
+        a.probe(0, false); // 0 becomes MRU
+        let victim = a.fill(128);
+        assert_eq!(victim, Some((64, false)));
+        assert!(a.contains(0) && a.contains(128) && !a.contains(64));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut a = SetArray::new(1, 1);
+        a.fill(0);
+        a.probe(0, true);
+        let victim = a.fill(64);
+        assert_eq!(victim, Some((0, true)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut a = SetArray::new(2, 1);
+        assert!(a.fill(0).is_none());
+        assert!(a.fill(64).is_none()); // different set
+        assert!(a.fill(128).is_some()); // back to set 0
+    }
+
+    #[test]
+    fn mark_dirty_on_absent_is_noop() {
+        let mut a = SetArray::new(2, 1);
+        a.mark_dirty(0);
+        assert_eq!(a.resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_panics() {
+        let _ = SetArray::new(0, 4);
+    }
+}

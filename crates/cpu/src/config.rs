@@ -1,0 +1,106 @@
+//! Core configuration (paper Table I).
+
+use hipe_sim::Cycle;
+
+/// Out-of-order core parameters.
+///
+/// # Example
+///
+/// ```
+/// use hipe_cpu::CoreConfig;
+/// let c = CoreConfig::paper();
+/// assert_eq!(c.issue_width, 6);
+/// assert_eq!(c.rob_entries, 168);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Micro-ops issued per cycle (6-wide in Table I).
+    pub issue_width: usize,
+    /// Reorder-buffer entries (168).
+    pub rob_entries: usize,
+    /// Memory-order-buffer read entries (64).
+    pub mob_read: usize,
+    /// Memory-order-buffer write entries (36).
+    pub mob_write: usize,
+    /// Integer ALU units (3) and latency (1).
+    pub int_alu_units: usize,
+    /// Integer ALU latency.
+    pub int_alu_latency: Cycle,
+    /// Integer multiplier units (1) and latency (3).
+    pub int_mul_units: usize,
+    /// Integer multiply latency.
+    pub int_mul_latency: Cycle,
+    /// Integer divider units (1) and latency (32).
+    pub int_div_units: usize,
+    /// Integer divide latency.
+    pub int_div_latency: Cycle,
+    /// FP ALU units (1) and latency (3).
+    pub fp_alu_units: usize,
+    /// FP ALU latency.
+    pub fp_alu_latency: Cycle,
+    /// FP multiplier units (1) and latency (5).
+    pub fp_mul_units: usize,
+    /// FP multiply latency.
+    pub fp_mul_latency: Cycle,
+    /// FP divider units (1) and latency (10).
+    pub fp_div_units: usize,
+    /// FP divide latency.
+    pub fp_div_latency: Cycle,
+    /// Load units (1, 1-cycle AGU).
+    pub load_units: usize,
+    /// Store units (1, 1-cycle).
+    pub store_units: usize,
+    /// Front-end refill penalty of a branch mispredict.
+    pub mispredict_penalty: Cycle,
+    /// Bytes of vector data processed per cycle by one ALU pipe
+    /// (AVX-512-capable: 64 B/cycle).
+    pub vector_bytes_per_cycle: u64,
+}
+
+impl CoreConfig {
+    /// Table I parameters.
+    pub fn paper() -> Self {
+        CoreConfig {
+            issue_width: 6,
+            rob_entries: 168,
+            mob_read: 64,
+            mob_write: 36,
+            int_alu_units: 3,
+            int_alu_latency: 1,
+            int_mul_units: 1,
+            int_mul_latency: 3,
+            int_div_units: 1,
+            int_div_latency: 32,
+            fp_alu_units: 1,
+            fp_alu_latency: 3,
+            fp_mul_units: 1,
+            fp_mul_latency: 5,
+            fp_div_units: 1,
+            fp_div_latency: 10,
+            load_units: 1,
+            store_units: 1,
+            mispredict_penalty: 14,
+            vector_bytes_per_cycle: 64,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table_one() {
+        let c = CoreConfig::paper();
+        assert_eq!((c.mob_read, c.mob_write), (64, 36));
+        assert_eq!(c.int_alu_units, 3);
+        assert_eq!(c.int_div_latency, 32);
+        assert_eq!(c.fp_mul_latency, 5);
+    }
+}

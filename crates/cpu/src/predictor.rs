@@ -1,0 +1,126 @@
+//! Two-level GAs branch predictor model.
+//!
+//! Table I specifies a two-level GAs (global history, set-associative
+//! pattern tables) predictor with a 4096-entry BTB. The compiler uses
+//! this model while generating micro-op streams: it feeds each dynamic
+//! branch outcome through the predictor and annotates the branch
+//! micro-op with whether it mispredicted, making mispredict stalls
+//! data-dependent exactly as in the original simulation.
+
+/// A two-level adaptive predictor (GAs): a global history register
+/// indexes per-set pattern history tables of 2-bit counters.
+///
+/// # Example
+///
+/// ```
+/// use hipe_cpu::GasPredictor;
+/// let mut p = GasPredictor::new();
+/// // A perfectly biased branch is learned once the global history
+/// // warms up (~8 + 2 iterations for 8 bits of history).
+/// let mut wrong = 0;
+/// for _ in 0..100 {
+///     if !p.predict_and_update(0x400, true) { wrong += 1; }
+/// }
+/// assert!(wrong <= 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GasPredictor {
+    /// Global history register (lower HISTORY_BITS used).
+    history: u32,
+    /// Pattern history tables: 2-bit saturating counters.
+    pht: Vec<u8>,
+}
+
+const HISTORY_BITS: u32 = 8;
+const SETS: usize = 16;
+
+impl GasPredictor {
+    /// Creates a predictor with cleared history (weakly not-taken).
+    pub fn new() -> Self {
+        GasPredictor {
+            history: 0,
+            pht: vec![1; SETS << HISTORY_BITS],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let set = (pc >> 2) as usize % SETS;
+        (set << HISTORY_BITS) | (self.history as usize & ((1 << HISTORY_BITS) - 1))
+    }
+
+    /// Predicts the branch at `pc`, updates the tables with the real
+    /// `taken` outcome and returns `true` when the prediction was
+    /// correct.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let counter = self.pht[idx];
+        let prediction = counter >= 2;
+        // Update the saturating counter.
+        self.pht[idx] = match (counter, taken) {
+            (c, true) if c < 3 => c + 1,
+            (c, false) if c > 0 => c - 1,
+            (c, _) => c,
+        };
+        self.history = (self.history << 1) | taken as u32;
+        prediction == taken
+    }
+}
+
+impl Default for GasPredictor {
+    fn default() -> Self {
+        GasPredictor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_alternating_pattern() {
+        let mut p = GasPredictor::new();
+        let mut wrong_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let ok = p.predict_and_update(0x100, taken);
+            if i >= 100 && !ok {
+                wrong_late += 1;
+            }
+        }
+        // With 8 bits of history, a period-2 pattern is fully captured.
+        assert_eq!(wrong_late, 0);
+    }
+
+    #[test]
+    fn random_data_dependent_branches_mispredict_often() {
+        let mut p = GasPredictor::new();
+        // Pseudo-random outcomes (xorshift) ~50 % taken.
+        let mut x = 0x12345678u32;
+        let mut wrong = 0;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            if !p.predict_and_update(0x200, x & 1 == 1) {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / 2000.0;
+        assert!(rate > 0.3, "mispredict rate {rate} suspiciously low");
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_sets() {
+        let mut p = GasPredictor::new();
+        for _ in 0..100 {
+            p.predict_and_update(0x100, true);
+        }
+        // A different branch address starts fresh-ish; its counters
+        // should not be saturated taken by the other branch alone.
+        let first = p.predict_and_update(0x104, false);
+        // Not asserting the outcome (history is shared), just that the
+        // call is well-formed and tables are sized for all sets.
+        let _ = first;
+        assert_eq!(p.pht.len(), SETS << HISTORY_BITS);
+    }
+}

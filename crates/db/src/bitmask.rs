@@ -1,0 +1,200 @@
+//! Tuple-match bitmasks.
+
+/// A per-tuple match bitmask, the intermediate result of
+/// column-at-a-time scans ("1" for match, "0" for no match, as in the
+/// paper's experiment description).
+///
+/// # Example
+///
+/// ```
+/// use hipe_db::Bitmask;
+/// let mut m = Bitmask::ones(10);
+/// m.clear(3);
+/// assert!(!m.get(3));
+/// assert_eq!(m.count_ones(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmask {
+    /// Creates an all-zero mask over `len` tuples.
+    pub fn zeros(len: usize) -> Self {
+        Bitmask {
+            words: vec![0; (len + 63) / 64],
+            len,
+        }
+    }
+
+    /// Creates an all-one mask over `len` tuples.
+    pub fn ones(len: usize) -> Self {
+        let mut m = Bitmask {
+            words: vec![!0u64; (len + 63) / 64],
+            len,
+        };
+        m.trim();
+        m
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the mask covers zero tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit value for tuple `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Assigns bit `i`.
+    pub fn assign(&mut self, i: usize, v: bool) {
+        if v {
+            self.set(i)
+        } else {
+            self.clear(i)
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_with(&mut self, other: &Bitmask) {
+        assert_eq!(self.len, other.len, "bitmask length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if any bit in tuple range `[start, end)` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn any_in(&self, start: usize, end: usize) -> bool {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        (start..end).any(|i| self.get(i))
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+impl FromIterator<bool> for Bitmask {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut m = Bitmask::zeros(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                m.set(i);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_trims_tail() {
+        let m = Bitmask::ones(70);
+        assert_eq!(m.count_ones(), 70);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut m = Bitmask::zeros(100);
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(99);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(99));
+        assert_eq!(m.count_ones(), 4);
+        m.clear(63);
+        assert!(!m.get(63));
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a: Bitmask = (0..10).map(|i| i % 2 == 0).collect();
+        let b: Bitmask = (0..10).map(|i| i < 5).collect();
+        let mut c = a.clone();
+        c.and_with(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn any_in_ranges() {
+        let mut m = Bitmask::zeros(128);
+        m.set(100);
+        assert!(m.any_in(96, 128));
+        assert!(!m.any_in(0, 96));
+        assert!(!m.any_in(50, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let m = Bitmask::zeros(8);
+        let _ = m.get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let mut a = Bitmask::zeros(8);
+        let b = Bitmask::zeros(9);
+        a.and_with(&b);
+    }
+}

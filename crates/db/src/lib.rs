@@ -1,0 +1,47 @@
+//! Database substrate: TPC-H lineitem, storage layouts, select scans.
+//!
+//! The paper's workload is the selection scan of TPC-H Query 06 over a
+//! 1 GB database. The original evaluation uses dbgen data; this crate
+//! substitutes a deterministic synthetic generator with dbgen's
+//! documented column distributions, which preserves the two properties
+//! the experiments depend on:
+//!
+//! * the ~1.9 % conjunctive selectivity of Q6 (and each predicate's
+//!   individual pass rate), which drives HIPE's predicated skipping;
+//! * uniform value spread, so bitmask density is uncorrelated with
+//!   address, as in dbgen output.
+//!
+//! Two storage layouts are provided, mirroring the paper's Figure 1:
+//! the N-ary storage model ([`NsmLayout`], row-store, 64 B tuples — one
+//! cache line) and the decomposition storage model ([`DsmLayout`],
+//! column-store, contiguous 8 B columns).
+//!
+//! The [`scan`] module is the *reference executor*: a plain Rust
+//! implementation of the tuple-at-a-time and column-at-a-time select
+//! scans whose results every simulated architecture must reproduce
+//! exactly (the integration tests enforce this).
+//!
+//! # Example
+//!
+//! ```
+//! use hipe_db::{LineitemTable, Query, scan};
+//!
+//! let table = LineitemTable::generate(1_000, 42);
+//! let q6 = Query::q6();
+//! let result = scan::reference(&table, &q6);
+//! assert_eq!(q6.predicates().len(), 3);
+//! // Q6 selects roughly 1.9 % of lineitem.
+//! let sel = result.matches as f64 / table.rows() as f64;
+//! assert!(sel > 0.005 && sel < 0.05, "selectivity {sel}");
+//! ```
+
+mod bitmask;
+mod layout;
+mod lineitem;
+mod query;
+pub mod scan;
+
+pub use bitmask::Bitmask;
+pub use layout::{DsmLayout, NsmLayout, COLUMN_BYTES, NSM_FIELDS, TUPLE_BYTES};
+pub use lineitem::{Column, LineitemTable, SF1_ROWS};
+pub use query::{CmpOp, ColumnPredicate, Query};

@@ -1,0 +1,203 @@
+//! Synthetic TPC-H lineitem generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows of lineitem at TPC-H scale factor 1 (the paper's 1 GB setup).
+pub const SF1_ROWS: usize = 6_001_215;
+
+/// Days covered by lineitem ship dates (1992-01-02 .. 1998-12-31).
+const SHIPDATE_DAYS: i64 = 2557;
+
+/// Day index (since 1992-01-01) of 1994-01-01.
+pub(crate) const DAY_1994_01_01: i64 = 731;
+
+/// Day index (since 1992-01-01) of 1995-01-01.
+pub(crate) const DAY_1995_01_01: i64 = 1096;
+
+/// The four lineitem columns touched by Query 06.
+///
+/// Values are stored as signed 64-bit integers (fixed-point where the
+/// original schema uses decimals), matching the 8-byte lanes of the
+/// simulated vector and logic-layer units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Column {
+    /// `l_shipdate` as days since 1992-01-01.
+    Shipdate,
+    /// `l_discount` in hundredths (0 ..= 10 for 0.00 ..= 0.10).
+    Discount,
+    /// `l_quantity` (1 ..= 50).
+    Quantity,
+    /// `l_extendedprice` in cents.
+    ExtendedPrice,
+}
+
+impl Column {
+    /// All columns in their canonical NSM field order.
+    pub const ALL: [Column; 4] = [
+        Column::Shipdate,
+        Column::Discount,
+        Column::Quantity,
+        Column::ExtendedPrice,
+    ];
+
+    /// The column's field index in the NSM tuple (and DSM column id).
+    pub fn index(self) -> usize {
+        match self {
+            Column::Shipdate => 0,
+            Column::Discount => 1,
+            Column::Quantity => 2,
+            Column::ExtendedPrice => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Column {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Column::Shipdate => "l_shipdate",
+            Column::Discount => "l_discount",
+            Column::Quantity => "l_quantity",
+            Column::ExtendedPrice => "l_extendedprice",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An in-memory lineitem table (Q6-relevant columns).
+///
+/// Generation follows dbgen's documented distributions:
+/// quantity uniform in 1..=50, discount uniform in 0.00..=0.10,
+/// ship dates uniform over the seven-year order window, extended price
+/// derived from a uniform part cost times quantity.
+///
+/// # Example
+///
+/// ```
+/// use hipe_db::{Column, LineitemTable};
+/// let t = LineitemTable::generate(100, 7);
+/// assert_eq!(t.rows(), 100);
+/// let q = t.column(Column::Quantity);
+/// assert!(q.iter().all(|&v| (1..=50).contains(&v)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineitemTable {
+    shipdate: Vec<i64>,
+    discount: Vec<i64>,
+    quantity: Vec<i64>,
+    extendedprice: Vec<i64>,
+    seed: u64,
+}
+
+impl LineitemTable {
+    /// Generates `rows` tuples deterministically from `seed`.
+    pub fn generate(rows: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shipdate = Vec::with_capacity(rows);
+        let mut discount = Vec::with_capacity(rows);
+        let mut quantity = Vec::with_capacity(rows);
+        let mut extendedprice = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            shipdate.push(rng.gen_range(0..SHIPDATE_DAYS));
+            discount.push(rng.gen_range(0..=10));
+            let q: i64 = rng.gen_range(1..=50);
+            quantity.push(q);
+            // dbgen: extendedprice = quantity * part retail price;
+            // retail prices are ~90k..111k cents.
+            let part_price: i64 = rng.gen_range(90_000..=111_000);
+            extendedprice.push(q * part_price);
+        }
+        LineitemTable {
+            shipdate,
+            discount,
+            quantity,
+            extendedprice,
+            seed,
+        }
+    }
+
+    /// Generates a table sized to a TPC-H scale factor.
+    ///
+    /// `scale` may be fractional (e.g. `1.0 / 64.0` for quick runs).
+    pub fn at_scale(scale: f64, seed: u64) -> Self {
+        let rows = ((SF1_ROWS as f64) * scale).round().max(1.0) as usize;
+        LineitemTable::generate(rows, seed)
+    }
+
+    /// Number of tuples.
+    pub fn rows(&self) -> usize {
+        self.shipdate.len()
+    }
+
+    /// The seed used for generation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Borrow one column as a slice.
+    pub fn column(&self, c: Column) -> &[i64] {
+        match c {
+            Column::Shipdate => &self.shipdate,
+            Column::Discount => &self.discount,
+            Column::Quantity => &self.quantity,
+            Column::ExtendedPrice => &self.extendedprice,
+        }
+    }
+
+    /// Value of `c` at row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn value(&self, c: Column, i: usize) -> i64 {
+        self.column(c)[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = LineitemTable::generate(500, 9);
+        let b = LineitemTable::generate(500, 9);
+        for c in Column::ALL {
+            assert_eq!(a.column(c), b.column(c));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LineitemTable::generate(500, 1);
+        let b = LineitemTable::generate(500, 2);
+        assert_ne!(a.column(Column::Quantity), b.column(Column::Quantity));
+    }
+
+    #[test]
+    fn value_ranges_match_dbgen() {
+        let t = LineitemTable::generate(10_000, 3);
+        assert!(t.column(Column::Shipdate).iter().all(|&v| (0..SHIPDATE_DAYS).contains(&v)));
+        assert!(t.column(Column::Discount).iter().all(|&v| (0..=10).contains(&v)));
+        assert!(t.column(Column::Quantity).iter().all(|&v| (1..=50).contains(&v)));
+        assert!(t.column(Column::ExtendedPrice).iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn shipdate_1994_fraction_is_about_14_percent() {
+        let t = LineitemTable::generate(100_000, 4);
+        let hits = t
+            .column(Column::Shipdate)
+            .iter()
+            .filter(|&&d| (DAY_1994_01_01..DAY_1995_01_01).contains(&d))
+            .count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((0.12..0.17).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn at_scale_rounds_rows() {
+        let t = LineitemTable::at_scale(1.0 / 6_001_215.0, 0);
+        assert_eq!(t.rows(), 1);
+    }
+}

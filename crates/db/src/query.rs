@@ -1,0 +1,197 @@
+//! Select-scan queries over lineitem.
+
+use crate::lineitem::{Column, DAY_1994_01_01, DAY_1995_01_01};
+
+/// A comparison applied to every value of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `value < imm`.
+    Lt(i64),
+    /// `value <= imm`.
+    Le(i64),
+    /// `value > imm`.
+    Gt(i64),
+    /// `value >= imm`.
+    Ge(i64),
+    /// `value == imm`.
+    Eq(i64),
+    /// `lo <= value <= hi` (inclusive on both ends).
+    Range(i64, i64),
+}
+
+impl CmpOp {
+    /// Evaluates the comparison for one value.
+    pub fn eval(self, v: i64) -> bool {
+        match self {
+            CmpOp::Lt(x) => v < x,
+            CmpOp::Le(x) => v <= x,
+            CmpOp::Gt(x) => v > x,
+            CmpOp::Ge(x) => v >= x,
+            CmpOp::Eq(x) => v == x,
+            CmpOp::Range(lo, hi) => lo <= v && v <= hi,
+        }
+    }
+}
+
+/// One conjunct of a select scan: a comparison over one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnPredicate {
+    /// The column scanned.
+    pub column: Column,
+    /// The comparison applied.
+    pub cmp: CmpOp,
+}
+
+impl ColumnPredicate {
+    /// Creates a predicate.
+    pub fn new(column: Column, cmp: CmpOp) -> Self {
+        ColumnPredicate { column, cmp }
+    }
+}
+
+/// A conjunctive select-scan query with an optional sum aggregate.
+///
+/// This models the shape of TPC-H Query 06: a conjunction of
+/// comparisons over the `lineitem` fact table (no joins), followed by
+/// `SUM(l_extendedprice * l_discount)` over the matching tuples.
+///
+/// # Example
+///
+/// ```
+/// use hipe_db::Query;
+/// let q6 = Query::q6();
+/// assert_eq!(q6.predicates().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    predicates: Vec<ColumnPredicate>,
+    aggregate: bool,
+}
+
+impl Query {
+    /// Builds a query from conjunctive predicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicates` is empty.
+    pub fn new(predicates: Vec<ColumnPredicate>, aggregate: bool) -> Self {
+        assert!(!predicates.is_empty(), "a select scan needs at least one predicate");
+        Query {
+            predicates,
+            aggregate,
+        }
+    }
+
+    /// TPC-H Query 06:
+    ///
+    /// ```sql
+    /// SELECT sum(l_extendedprice * l_discount) FROM lineitem
+    /// WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+    ///   AND l_discount BETWEEN 0.05 AND 0.07
+    ///   AND l_quantity < 24;
+    /// ```
+    ///
+    /// The shipdate range is expressed as the fused range compare the
+    /// vector/logic units support; discounts are in hundredths.
+    pub fn q6() -> Self {
+        Query::new(
+            vec![
+                ColumnPredicate::new(
+                    Column::Shipdate,
+                    CmpOp::Range(DAY_1994_01_01, DAY_1995_01_01 - 1),
+                ),
+                ColumnPredicate::new(Column::Discount, CmpOp::Range(5, 7)),
+                ColumnPredicate::new(Column::Quantity, CmpOp::Lt(24)),
+            ],
+            true,
+        )
+    }
+
+    /// A single-predicate scan with a selectivity knob: matches roughly
+    /// `permille`/1000 of uniformly distributed quantity values. Used
+    /// by the selectivity-sweep extension experiment.
+    pub fn quantity_below_permille(permille: u32) -> Self {
+        // quantity uniform in 1..=50: threshold t matches (t-1)/50.
+        let t = 1 + (permille as i64 * 50) / 1000;
+        Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Lt(t))],
+            false,
+        )
+    }
+
+    /// The conjuncts in evaluation order.
+    pub fn predicates(&self) -> &[ColumnPredicate] {
+        &self.predicates
+    }
+
+    /// Whether the query sums `l_extendedprice * l_discount` over
+    /// matching tuples.
+    pub fn aggregates(&self) -> bool {
+        self.aggregate
+    }
+
+    /// Evaluates the full conjunction on one tuple's column values,
+    /// fetched through `get`.
+    pub fn matches_with(&self, mut get: impl FnMut(Column) -> i64) -> bool {
+        self.predicates.iter().all(|p| p.cmp.eval(get(p.column)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_eval() {
+        assert!(CmpOp::Lt(5).eval(4));
+        assert!(!CmpOp::Lt(5).eval(5));
+        assert!(CmpOp::Le(5).eval(5));
+        assert!(CmpOp::Gt(5).eval(6));
+        assert!(CmpOp::Ge(5).eval(5));
+        assert!(CmpOp::Eq(5).eval(5));
+        assert!(CmpOp::Range(2, 4).eval(2));
+        assert!(CmpOp::Range(2, 4).eval(4));
+        assert!(!CmpOp::Range(2, 4).eval(5));
+    }
+
+    #[test]
+    fn q6_has_three_conjuncts_and_aggregate() {
+        let q = Query::q6();
+        assert_eq!(q.predicates().len(), 3);
+        assert!(q.aggregates());
+    }
+
+    #[test]
+    fn q6_matches_hand_picked_tuples() {
+        let q = Query::q6();
+        // A matching tuple: shipped mid-1994, 6 % discount, qty 10.
+        assert!(q.matches_with(|c| match c {
+            Column::Shipdate => 900,
+            Column::Discount => 6,
+            Column::Quantity => 10,
+            Column::ExtendedPrice => 100_000,
+        }));
+        // Fails the date.
+        assert!(!q.matches_with(|c| match c {
+            Column::Shipdate => 100,
+            Column::Discount => 6,
+            Column::Quantity => 10,
+            Column::ExtendedPrice => 100_000,
+        }));
+    }
+
+    #[test]
+    fn selectivity_knob_thresholds() {
+        let q = Query::quantity_below_permille(500);
+        match q.predicates()[0].cmp {
+            CmpOp::Lt(t) => assert_eq!(t, 26),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn empty_query_panics() {
+        let _ = Query::new(vec![], false);
+    }
+}

@@ -1,0 +1,146 @@
+//! Reference select-scan executors.
+//!
+//! These plain-Rust executors define the *correct answer* for every
+//! simulated architecture. The integration tests require that the
+//! functional results computed on the simulated x86, HMC, HIVE and
+//! HIPE targets equal the output of [`reference`] bit for bit.
+
+use crate::bitmask::Bitmask;
+use crate::lineitem::{Column, LineitemTable};
+use crate::query::Query;
+
+/// Result of a select scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Per-tuple match bitmask.
+    pub bitmask: Bitmask,
+    /// Number of matching tuples.
+    pub matches: usize,
+    /// `SUM(l_extendedprice * l_discount)` over matches, if the query
+    /// aggregates (discount in hundredths, price in cents: the sum is
+    /// in 1e-4 currency units, exact integer arithmetic).
+    pub aggregate: Option<i128>,
+}
+
+/// Evaluates `query` over `table` one tuple at a time (the row-store
+/// processing model of the paper's Figure 1a).
+pub fn tuple_at_a_time(table: &LineitemTable, query: &Query) -> ScanResult {
+    let rows = table.rows();
+    let mut bitmask = Bitmask::zeros(rows);
+    let mut matches = 0;
+    let mut agg: i128 = 0;
+    for i in 0..rows {
+        let hit = query.matches_with(|c| table.value(c, i));
+        if hit {
+            bitmask.set(i);
+            matches += 1;
+            if query.aggregates() {
+                agg += table.value(Column::ExtendedPrice, i) as i128
+                    * table.value(Column::Discount, i) as i128;
+            }
+        }
+    }
+    ScanResult {
+        bitmask,
+        matches,
+        aggregate: query.aggregates().then_some(agg),
+    }
+}
+
+/// Evaluates `query` over `table` one column at a time (the
+/// column-store processing model of Figure 1b): the first predicate
+/// produces a bitmask which subsequent predicates refine.
+pub fn column_at_a_time(table: &LineitemTable, query: &Query) -> ScanResult {
+    let rows = table.rows();
+    let mut bitmask = Bitmask::ones(rows);
+    for p in query.predicates() {
+        let col = table.column(p.column);
+        let this: Bitmask = col.iter().map(|&v| p.cmp.eval(v)).collect();
+        bitmask.and_with(&this);
+    }
+    let matches = bitmask.count_ones();
+    let aggregate = query.aggregates().then(|| {
+        bitmask
+            .iter_ones()
+            .map(|i| {
+                table.value(Column::ExtendedPrice, i) as i128
+                    * table.value(Column::Discount, i) as i128
+            })
+            .sum()
+    });
+    ScanResult {
+        bitmask,
+        matches,
+        aggregate,
+    }
+}
+
+/// The canonical reference result (tuple-at-a-time evaluation; both
+/// strategies must agree, which the tests assert).
+pub fn reference(table: &LineitemTable, query: &Query) -> ScanResult {
+    tuple_at_a_time(table, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{CmpOp, ColumnPredicate};
+
+    #[test]
+    fn strategies_agree_on_q6() {
+        let t = LineitemTable::generate(10_000, 11);
+        let q = Query::q6();
+        let a = tuple_at_a_time(&t, &q);
+        let b = column_at_a_time(&t, &q);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn q6_selectivity_near_two_percent() {
+        let t = LineitemTable::generate(200_000, 12);
+        let r = reference(&t, &Query::q6());
+        let sel = r.matches as f64 / t.rows() as f64;
+        // 365/2557 * 3/11 * 23/50 = 1.79 %.
+        assert!((0.012..0.025).contains(&sel), "selectivity {sel}");
+    }
+
+    #[test]
+    fn aggregate_is_exact() {
+        let t = LineitemTable::generate(1_000, 13);
+        let r = reference(&t, &Query::q6());
+        let by_hand: i128 = (0..t.rows())
+            .filter(|&i| r.bitmask.get(i))
+            .map(|i| {
+                t.value(Column::ExtendedPrice, i) as i128 * t.value(Column::Discount, i) as i128
+            })
+            .sum();
+        assert_eq!(r.aggregate, Some(by_hand));
+    }
+
+    #[test]
+    fn non_aggregating_query_returns_none() {
+        let t = LineitemTable::generate(100, 14);
+        let q = Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Lt(10))],
+            false,
+        );
+        let r = reference(&t, &q);
+        assert_eq!(r.aggregate, None);
+        assert_eq!(r.matches, r.bitmask.count_ones());
+    }
+
+    #[test]
+    fn all_pass_and_none_pass_edges() {
+        let t = LineitemTable::generate(500, 15);
+        let all = Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Le(50))],
+            false,
+        );
+        let none = Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Gt(50))],
+            false,
+        );
+        assert_eq!(reference(&t, &all).matches, 500);
+        assert_eq!(reference(&t, &none).matches, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Hybrid Memory Cube (HMC) v2.1 model.
+//!
+//! This crate rebuilds, from the published parameters (Table I of the
+//! HIPE paper), the memory substrate that the original evaluation took
+//! from the SiNUCA simulator:
+//!
+//! * **Geometry** — 32 vaults x 8 DRAM banks per vault, 256 B row
+//!   buffers, closed-page policy, 8 GB address space.
+//! * **Timing** — DRAM at 166 MHz with CAS/RP/RCD/RAS/CWD of
+//!   9-9-9-24-7 DRAM cycles, expressed in 2 GHz CPU cycles.
+//! * **Links** — four serial links at 8 GHz carrying request and
+//!   response packets with 16 B headers.
+//! * **Per-vault functional units** — the stock HMC ISA executes
+//!   read-operate(-write) instructions next to the banks; the unit adds
+//!   one CPU cycle of latency per operation, as in the paper.
+//! * **Energy** — an event-count energy model (activate/read/write/IO,
+//!   link traffic, background power) replacing the silicon numbers the
+//!   authors had; only relative energy matters for the paper's claims.
+//!
+//! The cube is *functional* as well as timed: it owns a byte image of
+//! the simulated physical memory, so the database scans executed on top
+//! of it compute real results that the test-suite cross-checks against
+//! a reference executor.
+//!
+//! # Example
+//!
+//! ```
+//! use hipe_hmc::{Hmc, HmcConfig, AccessKind};
+//!
+//! let mut hmc = Hmc::new(HmcConfig::paper(), 1 << 20);
+//! hmc.write_bytes(0x1000, &[1, 2, 3, 4]);
+//! let resp = hmc.access(0, 0x1000, 4, AccessKind::Read);
+//! assert!(resp.complete > 0);
+//! assert_eq!(hmc.read_bytes(0x1000, 4), &[1, 2, 3, 4]);
+//! ```
+
+mod address;
+mod config;
+mod cube;
+mod energy;
+mod vault;
+
+pub use address::{AddressMapping, Location};
+pub use config::{DramTimings, HmcConfig};
+pub use cube::{AccessKind, Hmc, HmcStats, Response};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use vault::Vault;

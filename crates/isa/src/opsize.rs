@@ -1,0 +1,97 @@
+//! Operation sizes.
+
+/// Width in bytes of one data lane.
+///
+/// Every column in the workload is a little-endian signed 64-bit
+/// integer, matching the 8 B burst width of the HMC and giving a 256 B
+/// operation 32 lanes.
+pub const LANE_BYTES: u64 = 8;
+
+/// The operand size of an in-memory or vector operation.
+///
+/// The paper evaluates 16, 32, 64, 128 and 256 bytes (the HMC spec
+/// originally supports up to 16 B; HIVE up to 8 KB; the balanced design
+/// evaluated in the paper caps at one 256 B row buffer).
+///
+/// # Example
+///
+/// ```
+/// use hipe_isa::OpSize;
+/// let s = OpSize::new(64).expect("64 is a supported size");
+/// assert_eq!(s.bytes(), 64);
+/// assert_eq!(s.lanes(), 8);
+/// assert!(OpSize::new(48).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpSize(u64);
+
+impl OpSize {
+    /// The five sizes evaluated in the paper, ascending.
+    pub const ALL: [OpSize; 5] = [
+        OpSize(16),
+        OpSize(32),
+        OpSize(64),
+        OpSize(128),
+        OpSize(256),
+    ];
+
+    /// The largest (and usually best) size: one full row buffer.
+    pub const MAX: OpSize = OpSize(256);
+
+    /// Creates an operation size; returns `None` unless `bytes` is one
+    /// of 16, 32, 64, 128 or 256.
+    pub fn new(bytes: u64) -> Option<Self> {
+        match bytes {
+            16 | 32 | 64 | 128 | 256 => Some(OpSize(bytes)),
+            _ => None,
+        }
+    }
+
+    /// The size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Number of 8-byte lanes this size covers.
+    pub fn lanes(self) -> usize {
+        (self.0 / LANE_BYTES) as usize
+    }
+}
+
+impl std::fmt::Display for OpSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_sizes_round_trip() {
+        for s in OpSize::ALL {
+            assert_eq!(OpSize::new(s.bytes()), Some(s));
+            assert_eq!(s.lanes() as u64 * LANE_BYTES, s.bytes());
+        }
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        for b in [0, 1, 8, 48, 512, 8192] {
+            assert_eq!(OpSize::new(b), None);
+        }
+    }
+
+    #[test]
+    fn all_is_sorted_ascending() {
+        let mut sorted = OpSize::ALL.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, OpSize::ALL.to_vec());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(OpSize::MAX.to_string(), "256 B");
+    }
+}

@@ -1,0 +1,99 @@
+//! Logic-layer configuration (paper Table I).
+
+use hipe_sim::{ClockDomain, Cycle, Freq};
+
+/// Configuration of the HIVE/HIPE logic-layer engine.
+///
+/// Latencies are given in CPU cycles (Table I lists them as
+/// "cpu-cycles" directly: 2-alu, 6-mul, 40-div integer; 10-alu,
+/// 10-mul, 40-div floating point), while the sequencer runs at the
+/// logic-layer clock of 1 GHz.
+///
+/// # Example
+///
+/// ```
+/// use hipe_logic::LogicConfig;
+/// let c = LogicConfig::paper();
+/// assert_eq!(c.registers, 36);
+/// assert_eq!(c.int_alu_latency, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicConfig {
+    /// Engine clock.
+    pub freq: Freq,
+    /// Reference CPU clock.
+    pub cpu_freq: Freq,
+    /// Registers in the bank (36 x 256 B balanced design).
+    pub registers: usize,
+    /// Integer ALU latency, CPU cycles.
+    pub int_alu_latency: Cycle,
+    /// Integer multiply latency, CPU cycles.
+    pub int_mul_latency: Cycle,
+    /// Integer divide latency, CPU cycles.
+    pub int_div_latency: Cycle,
+    /// FP ALU latency, CPU cycles.
+    pub fp_alu_latency: Cycle,
+    /// FP multiply latency, CPU cycles.
+    pub fp_mul_latency: Cycle,
+    /// FP divide latency, CPU cycles.
+    pub fp_div_latency: Cycle,
+    /// Whether the predication match logic is present (HIPE) or
+    /// predicates are rejected (HIVE).
+    pub predication: bool,
+}
+
+impl LogicConfig {
+    /// Table I parameters for HIVE (no predication).
+    pub fn paper() -> Self {
+        LogicConfig {
+            freq: Freq::ghz(1),
+            cpu_freq: Freq::ghz(2),
+            registers: hipe_isa::REGISTER_COUNT,
+            int_alu_latency: 2,
+            int_mul_latency: 6,
+            int_div_latency: 40,
+            fp_alu_latency: 10,
+            fp_mul_latency: 10,
+            fp_div_latency: 40,
+            predication: false,
+        }
+    }
+
+    /// Table I parameters for HIPE (predication enabled).
+    pub fn paper_hipe() -> Self {
+        LogicConfig {
+            predication: true,
+            ..LogicConfig::paper()
+        }
+    }
+
+    /// CPU cycles per sequencer slot (one instruction issued per logic
+    /// cycle).
+    pub fn issue_interval(&self) -> Cycle {
+        ClockDomain::new(self.freq, self.cpu_freq).to_cpu(1)
+    }
+}
+
+impl Default for LogicConfig {
+    fn default() -> Self {
+        LogicConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_interval_is_two_cpu_cycles() {
+        assert_eq!(LogicConfig::paper().issue_interval(), 2);
+    }
+
+    #[test]
+    fn hipe_differs_only_in_predication() {
+        let hive = LogicConfig::paper();
+        let hipe = LogicConfig::paper_hipe();
+        assert!(!hive.predication && hipe.predication);
+        assert_eq!(hive.int_mul_latency, hipe.int_mul_latency);
+    }
+}

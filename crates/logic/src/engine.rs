@@ -1,0 +1,547 @@
+//! The in-order logic-layer engine with interlock and predication.
+
+use crate::bank::{RegisterBank, LANES};
+use crate::config::LogicConfig;
+use hipe_hmc::Hmc;
+use hipe_isa::{AluOp, LogicInstr, OpSize, PredWhen, Predicate, RegId};
+use hipe_sim::Cycle;
+
+/// Activity counters of the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instructions received (including squashed ones).
+    pub instructions: u64,
+    /// Loads that accessed DRAM.
+    pub dram_loads: u64,
+    /// Stores that accessed DRAM.
+    pub dram_stores: u64,
+    /// ALU operations executed.
+    pub alu_ops: u64,
+    /// Instructions squashed by the predication match logic.
+    pub squashed: u64,
+    /// Lock/unlock blocks completed.
+    pub blocks: u64,
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Cycle at which the instruction's effect is complete: data in the
+    /// register (load), data in DRAM (store), result ready (ALU), or
+    /// acknowledgement sent (unlock).
+    pub done: Cycle,
+    /// `false` when the predication match logic squashed the
+    /// instruction.
+    pub performed: bool,
+}
+
+/// The HIVE/HIPE logic-layer engine.
+///
+/// See the crate documentation for the modelled micro-architecture.
+/// Instructions are supplied in program order with the cycle at which
+/// each arrives from the host ([`execute`](Self::execute)); the engine
+/// handles sequencing, interlock and predication internally.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: LogicConfig,
+    bank: RegisterBank,
+    /// Next free sequencer slot (CPU cycles).
+    seq: Cycle,
+    /// Completion horizon of the current lock/unlock block.
+    block_horizon: Cycle,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an idle engine.
+    pub fn new(cfg: LogicConfig) -> Self {
+        Engine {
+            bank: RegisterBank::new(cfg.registers),
+            seq: 0,
+            block_horizon: 0,
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LogicConfig {
+        &self.cfg
+    }
+
+    /// The register bank (functional inspection).
+    pub fn bank(&self) -> &RegisterBank {
+        &self.bank
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Evaluates a predicate against the current zero flags.
+    fn predicate_passes(&self, p: Predicate) -> bool {
+        match p.when {
+            PredWhen::AnyNonZero => !self.bank.is_zero(p.reg),
+            PredWhen::AllZero => self.bank.is_zero(p.reg),
+        }
+    }
+
+    /// Executes one instruction arriving from the host at `arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction carries a predicate but the engine is
+    /// configured without predication (a HIVE engine receiving HIPE
+    /// code is a compiler bug), or if a register id is outside the
+    /// configured bank.
+    pub fn execute(&mut self, hmc: &mut Hmc, instr: LogicInstr, arrival: Cycle) -> Outcome {
+        self.stats.instructions += 1;
+        // One sequencer slot per instruction, in order.
+        let issue = self.seq.max(arrival);
+        self.seq = issue + self.cfg.issue_interval();
+
+        // Predication match logic.
+        if let Some(p) = instr.predicate() {
+            assert!(
+                self.cfg.predication,
+                "predicated instruction on a non-predicated (HIVE) engine"
+            );
+            // The predicate register must be ready before the decision.
+            let decide = issue.max(self.bank.ready(p.reg));
+            self.seq = self.seq.max(decide);
+            if !self.predicate_passes(p) {
+                self.stats.squashed += 1;
+                self.block_horizon = self.block_horizon.max(decide);
+                return Outcome {
+                    done: decide,
+                    performed: false,
+                };
+            }
+            return self.perform(hmc, instr, decide);
+        }
+        self.perform(hmc, instr, issue)
+    }
+
+    fn perform(&mut self, hmc: &mut Hmc, instr: LogicInstr, issue: Cycle) -> Outcome {
+        let done = match instr {
+            LogicInstr::Lock => {
+                self.block_horizon = issue;
+                issue
+            }
+            LogicInstr::Unlock => {
+                self.stats.blocks += 1;
+                issue.max(self.block_horizon)
+            }
+            LogicInstr::Load {
+                dst, addr, size, ..
+            } => {
+                self.stats.dram_loads += 1;
+                // WAR interlock: the destination register must have been
+                // consumed by all earlier readers before it is refilled.
+                let start = issue.max(self.bank.last_consumed(dst));
+                let data_ready = hmc.internal_read(start, addr, size.bytes());
+                let value = read_lanes(hmc, addr, size);
+                self.bank.write(dst, value, data_ready);
+                data_ready
+            }
+            LogicInstr::Store {
+                src, addr, size, ..
+            } => {
+                self.stats.dram_stores += 1;
+                let start = issue.max(self.bank.ready(src));
+                self.bank.consume(src, start);
+                write_lanes(hmc, addr, size, self.bank.lanes(src));
+                hmc.internal_write(start, addr, size.bytes())
+            }
+            LogicInstr::Alu {
+                op,
+                dst,
+                a,
+                b,
+                size,
+                ..
+            } => {
+                self.stats.alu_ops += 1;
+                hmc.charge_logic_op();
+                let mut start = issue.max(self.bank.ready(a));
+                if let Some(rb) = b {
+                    start = start.max(self.bank.ready(rb));
+                }
+                start = start.max(self.bank.last_consumed(dst));
+                self.bank.consume(a, start);
+                if let Some(rb) = b {
+                    self.bank.consume(rb, start);
+                }
+                let latency = if op.is_mul_class() {
+                    self.cfg.int_mul_latency
+                } else {
+                    self.cfg.int_alu_latency
+                };
+                let end = start + latency;
+                let value = eval_alu(op, self.bank.lanes(a), b.map(|rb| *self.bank.lanes(rb)), size);
+                self.bank.write(dst, value, end);
+                end
+            }
+        };
+        self.block_horizon = self.block_horizon.max(done);
+        Outcome {
+            done,
+            performed: true,
+        }
+    }
+}
+
+/// Reads `size` bytes at `addr` from the cube image as i64 lanes
+/// (unused high lanes zeroed).
+fn read_lanes(hmc: &Hmc, addr: u64, size: OpSize) -> [i64; LANES] {
+    let mut out = [0i64; LANES];
+    let bytes = hmc.read_bytes(addr, size.bytes() as usize);
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(chunk);
+        out[i] = i64::from_le_bytes(b);
+    }
+    out
+}
+
+/// Writes the low `size` bytes of `lanes` to the cube image.
+fn write_lanes(hmc: &mut Hmc, addr: u64, size: OpSize, lanes: &[i64; LANES]) {
+    let mut buf = Vec::with_capacity(size.bytes() as usize);
+    for lane in lanes.iter().take(size.lanes()) {
+        buf.extend_from_slice(&lane.to_le_bytes());
+    }
+    hmc.write_bytes(addr, &buf);
+}
+
+/// Lane-wise functional evaluation.
+fn eval_alu(op: AluOp, a: &[i64; LANES], b: Option<[i64; LANES]>, size: OpSize) -> [i64; LANES] {
+    let mut out = [0i64; LANES];
+    let n = size.lanes();
+    match op {
+        AluOp::CmpGeImm(x) => lanewise(&mut out, a, n, |v| (v >= x) as i64),
+        AluOp::CmpGtImm(x) => lanewise(&mut out, a, n, |v| (v > x) as i64),
+        AluOp::CmpLeImm(x) => lanewise(&mut out, a, n, |v| (v <= x) as i64),
+        AluOp::CmpLtImm(x) => lanewise(&mut out, a, n, |v| (v < x) as i64),
+        AluOp::CmpEqImm(x) => lanewise(&mut out, a, n, |v| (v == x) as i64),
+        AluOp::CmpRangeImm(lo, hi) => lanewise(&mut out, a, n, |v| (lo <= v && v <= hi) as i64),
+        AluOp::And | AluOp::Or | AluOp::Add | AluOp::Sub | AluOp::Mul => {
+            let b = b.expect("two-operand ALU op requires a second register");
+            for i in 0..n {
+                out[i] = match op {
+                    AluOp::And => a[i] & b[i],
+                    AluOp::Or => a[i] | b[i],
+                    AluOp::Add => a[i].wrapping_add(b[i]),
+                    AluOp::Sub => a[i].wrapping_sub(b[i]),
+                    AluOp::Mul => a[i].wrapping_mul(b[i]),
+                    _ => unreachable!(),
+                };
+            }
+        }
+        AluOp::AddReduce => {
+            out[0] = a.iter().take(n).fold(0i64, |acc, &v| acc.wrapping_add(v));
+        }
+        AluOp::TupleMatch { fields, stride } => {
+            let stride = stride as usize;
+            debug_assert!(stride > 0 && n % stride == 0);
+            let tuples = n / stride;
+            for t in 0..tuples {
+                let pass = fields.iter().flatten().all(|f| {
+                    let v = a[t * stride + f.field as usize];
+                    f.lo <= v && v <= f.hi
+                });
+                out[t] = pass as i64;
+            }
+        }
+    }
+    out
+}
+
+fn lanewise(out: &mut [i64; LANES], a: &[i64; LANES], n: usize, f: impl Fn(i64) -> i64) {
+    for i in 0..n {
+        out[i] = f(a[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipe_hmc::HmcConfig;
+
+    const SIZE: OpSize = OpSize::MAX;
+
+    fn setup(pred: bool) -> (Hmc, Engine) {
+        let cfg = if pred {
+            LogicConfig::paper_hipe()
+        } else {
+            LogicConfig::paper()
+        };
+        (Hmc::new(HmcConfig::paper(), 1 << 20), Engine::new(cfg))
+    }
+
+    fn r(i: usize) -> RegId {
+        RegId::new(i).expect("valid register")
+    }
+
+    fn load(dst: usize, addr: u64) -> LogicInstr {
+        LogicInstr::Load {
+            dst: r(dst),
+            addr,
+            size: SIZE,
+            pred: None,
+        }
+    }
+
+    #[test]
+    fn interlock_overlaps_independent_loads() {
+        let (mut hmc, mut eng) = setup(false);
+        // Two loads to different vaults issued back to back: the second
+        // completes ~one sequencer slot after the first, not a full
+        // DRAM latency later.
+        let a = eng.execute(&mut hmc, load(0, 0), 0);
+        let b = eng.execute(&mut hmc, load(1, 256), 0);
+        assert!(b.done < a.done + 50, "loads serialized: {a:?} {b:?}");
+    }
+
+    #[test]
+    fn true_dependency_stalls() {
+        let (mut hmc, mut eng) = setup(false);
+        hmc.write_u64(0, 7);
+        let ld = eng.execute(&mut hmc, load(0, 0), 0);
+        let cmp = eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::CmpGeImm(5),
+                dst: r(1),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        // The compare waits for the load's data.
+        assert!(cmp.done >= ld.done + 2);
+        assert_eq!(eng.bank().lane(r(1), 0), 1);
+    }
+
+    #[test]
+    fn functional_compare_and_mask() {
+        let (mut hmc, mut eng) = setup(false);
+        for i in 0..32u64 {
+            hmc.write_u64(i * 8, i as u64);
+        }
+        eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::CmpLtImm(10),
+                dst: r(1),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::CmpGeImm(5),
+                dst: r(2),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::And,
+                dst: r(3),
+                a: r(1),
+                b: Some(r(2)),
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        for lane in 0..32 {
+            let expect = (lane >= 5 && lane < 10) as i64;
+            assert_eq!(eng.bank().lane(r(3), lane), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn store_round_trips_through_dram_image() {
+        let (mut hmc, mut eng) = setup(false);
+        for i in 0..32u64 {
+            hmc.write_u64(i * 8, 100 + i);
+        }
+        eng.execute(&mut hmc, load(0, 0), 0);
+        let st = eng.execute(
+            &mut hmc,
+            LogicInstr::Store {
+                src: r(0),
+                addr: 4096,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        assert!(st.performed);
+        for i in 0..32u64 {
+            assert_eq!(hmc.read_u64(4096 + i * 8), 100 + i);
+        }
+        assert_eq!(eng.stats().dram_stores, 1);
+    }
+
+    #[test]
+    fn predication_squashes_on_zero_flag() {
+        let (mut hmc, mut eng) = setup(true);
+        // Region data that fails a compare -> zero mask.
+        for i in 0..32u64 {
+            hmc.write_u64(i * 8, 1000 + i);
+        }
+        eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::CmpLtImm(0),
+                dst: r(1),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        let before = eng.stats().dram_loads;
+        let skipped = eng.execute(
+            &mut hmc,
+            LogicInstr::Load {
+                dst: r(2),
+                addr: 8192,
+                size: SIZE,
+                pred: Some(Predicate::any_nonzero(r(1))),
+            },
+            0,
+        );
+        assert!(!skipped.performed);
+        assert_eq!(eng.stats().dram_loads, before, "squashed load hit DRAM");
+        assert_eq!(eng.stats().squashed, 1);
+    }
+
+    #[test]
+    fn predication_executes_on_match() {
+        let (mut hmc, mut eng) = setup(true);
+        hmc.write_u64(0, 3); // lane 0 nonzero after compare
+        eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::CmpGeImm(1),
+                dst: r(1),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        let out = eng.execute(
+            &mut hmc,
+            LogicInstr::Load {
+                dst: r(2),
+                addr: 8192,
+                size: SIZE,
+                pred: Some(Predicate::any_nonzero(r(1))),
+            },
+            0,
+        );
+        assert!(out.performed);
+        assert_eq!(eng.stats().squashed, 0);
+    }
+
+    #[test]
+    fn predicated_instruction_waits_for_flag() {
+        let (mut hmc, mut eng) = setup(true);
+        hmc.write_u64(0, 3);
+        let ld = eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::CmpGeImm(1),
+                dst: r(1),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        let gated = eng.execute(
+            &mut hmc,
+            LogicInstr::Load {
+                dst: r(2),
+                addr: 256,
+                size: SIZE,
+                pred: Some(Predicate::any_nonzero(r(1))),
+            },
+            0,
+        );
+        // The predicated load cannot start before the compare resolved,
+        // which itself waited for the first load's data.
+        assert!(gated.done > ld.done, "predicated load did not wait");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-predicated")]
+    fn hive_engine_rejects_predicates() {
+        let (mut hmc, mut eng) = setup(false);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Load {
+                dst: r(0),
+                addr: 0,
+                size: SIZE,
+                pred: Some(Predicate::any_nonzero(r(1))),
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn unlock_waits_for_block() {
+        let (mut hmc, mut eng) = setup(false);
+        eng.execute(&mut hmc, LogicInstr::Lock, 0);
+        let ld = eng.execute(&mut hmc, load(0, 0), 0);
+        let ul = eng.execute(&mut hmc, LogicInstr::Unlock, 0);
+        assert!(ul.done >= ld.done, "unlock before block completion");
+        assert_eq!(eng.stats().blocks, 1);
+    }
+
+    #[test]
+    fn add_reduce_sums_lanes() {
+        let (mut hmc, mut eng) = setup(false);
+        for i in 0..32u64 {
+            hmc.write_u64(i * 8, 2);
+        }
+        eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::AddReduce,
+                dst: r(1),
+                a: r(0),
+                b: None,
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        assert_eq!(eng.bank().lane(r(1), 0), 64);
+    }
+}

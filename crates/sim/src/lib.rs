@@ -1,0 +1,57 @@
+//! Transaction-level simulation kernel for the HIPE reproduction.
+//!
+//! The original paper evaluates HIPE on SiNUCA, a cycle-accurate
+//! micro-architecture simulator. This crate provides the replacement
+//! substrate: a small set of timing primitives from which the memory,
+//! cache, processor and logic-layer models are composed.
+//!
+//! Instead of advancing a global clock one cycle at a time, every model
+//! in this workspace is *transaction level*: a component receives a
+//! request stamped with its arrival cycle and answers with the cycle at
+//! which the request completes, updating internal resource bookkeeping
+//! as a side effect. Contention is captured by three primitives:
+//!
+//! * [`Server`] — an exclusive resource (a DRAM bank, a command bus slot)
+//!   that serves one request at a time.
+//! * [`Window`] — a capacity-limited set of in-flight operations (a ROB,
+//!   a load queue, an MSHR file, an interlocked register bank).
+//! * [`ThroughputPipe`] — a bandwidth-limited conduit (a memory link).
+//!
+//! All three keep *monotone* "next free" state, so feeding them requests
+//! in non-decreasing arrival order yields a valid schedule. The
+//! higher-level crates are written so that requests are generated in
+//! program order, which satisfies that contract.
+//!
+//! # Example
+//!
+//! ```
+//! use hipe_sim::{Server, Window};
+//!
+//! // A bank that needs 40 cycles per access, with at most 4 accesses
+//! // outstanding from the requester's side.
+//! let mut bank = Server::new();
+//! let mut mshr = Window::new(4);
+//! let mut done = 0;
+//! for i in 0..8u64 {
+//!     let arrival = i; // one request per cycle
+//!     let admitted = mshr.admit(arrival);
+//!     let (_, completion) = bank.serve(admitted, 40);
+//!     mshr.complete(completion);
+//!     done = completion;
+//! }
+//! assert_eq!(done, 8 * 40);
+//! ```
+
+mod fifo_window;
+mod pipe;
+mod server;
+mod stats;
+mod time;
+mod window;
+
+pub use fifo_window::FifoWindow;
+pub use pipe::ThroughputPipe;
+pub use server::{MultiServer, Server};
+pub use stats::{Counter, Histogram, RunningStats};
+pub use time::{time_ns, ClockDomain, Cycle, Freq};
+pub use window::Window;

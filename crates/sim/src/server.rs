@@ -1,0 +1,208 @@
+//! Exclusive and replicated resource servers.
+
+use crate::time::Cycle;
+
+/// An exclusive resource that serves one request at a time.
+///
+/// A [`Server`] models anything with a single occupancy slot and a
+/// per-request service time: a DRAM bank, a vault command bus, a
+/// divider unit. It keeps only the cycle at which it next becomes
+/// free, so it is O(1) per request.
+///
+/// Requests must be offered in non-decreasing arrival order for the
+/// schedule to be meaningful (all users in this workspace generate
+/// requests in program order).
+///
+/// # Example
+///
+/// ```
+/// use hipe_sim::Server;
+/// let mut bank = Server::new();
+/// let (s1, e1) = bank.serve(0, 40);
+/// let (s2, e2) = bank.serve(10, 40);
+/// assert_eq!((s1, e1), (0, 40));
+/// // The second request queues behind the first.
+/// assert_eq!((s2, e2), (40, 80));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    next_free: Cycle,
+    busy: Cycle,
+    served: u64,
+}
+
+impl Server {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Serves a request arriving at `arrival` that needs `duration`
+    /// cycles, returning `(start, completion)`.
+    pub fn serve(&mut self, arrival: Cycle, duration: Cycle) -> (Cycle, Cycle) {
+        let start = arrival.max(self.next_free);
+        let end = start + duration;
+        self.next_free = end;
+        self.busy += duration;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// Like [`serve`](Self::serve) but the resource is released after
+    /// `occupancy` cycles while the request completes after `duration`
+    /// cycles (`occupancy <= duration`). Used for pipelined resources
+    /// whose result latency exceeds their initiation interval.
+    pub fn serve_pipelined(
+        &mut self,
+        arrival: Cycle,
+        occupancy: Cycle,
+        duration: Cycle,
+    ) -> (Cycle, Cycle) {
+        debug_assert!(occupancy <= duration);
+        let start = arrival.max(self.next_free);
+        self.next_free = start + occupancy;
+        self.busy += occupancy;
+        self.served += 1;
+        (start, start + duration)
+    }
+
+    /// The earliest cycle at which a new request could start service.
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Total cycles this server has spent busy.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+/// A pool of `k` identical exclusive resources.
+///
+/// Models replicated units such as the eight banks of a vault viewed
+/// collectively, or a trio of integer ALUs. Each request is placed on
+/// the earliest-free unit.
+///
+/// # Example
+///
+/// ```
+/// use hipe_sim::MultiServer;
+/// let mut alus = MultiServer::new(2);
+/// assert_eq!(alus.serve(0, 10).1, 10);
+/// assert_eq!(alus.serve(0, 10).1, 10); // second unit
+/// assert_eq!(alus.serve(0, 10).1, 20); // queues
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    units: Vec<Cycle>,
+    busy: Cycle,
+    served: u64,
+}
+
+impl MultiServer {
+    /// Creates a pool of `k` idle units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "a MultiServer needs at least one unit");
+        MultiServer {
+            units: vec![0; k],
+            busy: 0,
+            served: 0,
+        }
+    }
+
+    /// Number of units in the pool.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Returns `true` if the pool has no units (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Serves a request on the earliest-free unit, returning
+    /// `(start, completion)`.
+    pub fn serve(&mut self, arrival: Cycle, duration: Cycle) -> (Cycle, Cycle) {
+        // Find the unit that frees up first.
+        let (idx, _) = self
+            .units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .expect("pool is non-empty");
+        let start = arrival.max(self.units[idx]);
+        let end = start + duration;
+        self.units[idx] = end;
+        self.busy += duration;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// The earliest cycle at which any unit is free.
+    pub fn next_free(&self) -> Cycle {
+        *self.units.iter().min().expect("pool is non-empty")
+    }
+
+    /// Total busy cycles across all units.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_is_work_conserving() {
+        let mut s = Server::new();
+        let (start, end) = s.serve(100, 10);
+        assert_eq!((start, end), (100, 110));
+        // Arrives while busy: queues.
+        let (start, end) = s.serve(105, 10);
+        assert_eq!((start, end), (110, 120));
+        // Arrives after idle gap: starts immediately.
+        let (start, end) = s.serve(500, 10);
+        assert_eq!((start, end), (500, 510));
+        assert_eq!(s.busy_cycles(), 30);
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn pipelined_server_overlaps_results() {
+        let mut s = Server::new();
+        // Initiation interval 1, latency 5.
+        let (_, e1) = s.serve_pipelined(0, 1, 5);
+        let (_, e2) = s.serve_pipelined(0, 1, 5);
+        assert_eq!(e1, 5);
+        assert_eq!(e2, 6);
+    }
+
+    #[test]
+    fn multi_server_spreads_load() {
+        let mut m = MultiServer::new(4);
+        let ends: Vec<_> = (0..8).map(|_| m.serve(0, 100).1).collect();
+        assert_eq!(ends, vec![100, 100, 100, 100, 200, 200, 200, 200]);
+        assert_eq!(m.busy_cycles(), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let _ = MultiServer::new(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Clock domains and cycle arithmetic.
+//!
+//! Every timing quantity in the workspace is expressed in **CPU cycles**
+//! of the host processor clock (2.0 GHz in the paper's Table I). Slower
+//! domains — DRAM at 166 MHz, the HMC logic layer at 1 GHz — convert
+//! their native cycle counts through a [`ClockDomain`].
+
+/// A point in time or a duration, measured in CPU cycles.
+pub type Cycle = u64;
+
+/// A clock frequency in megahertz.
+///
+/// Newtype so that frequencies cannot be confused with cycle counts.
+///
+/// # Example
+///
+/// ```
+/// use hipe_sim::Freq;
+/// let dram = Freq::mhz(166);
+/// assert_eq!(dram.as_mhz(), 166);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// Creates a frequency from a megahertz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "frequency must be non-zero");
+        Freq(mhz)
+    }
+
+    /// Creates a frequency from a gigahertz value.
+    pub fn ghz(ghz: u64) -> Self {
+        Freq::mhz(ghz * 1000)
+    }
+
+    /// Returns the frequency in megahertz.
+    pub fn as_mhz(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Freq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 % 1000 == 0 {
+            write!(f, "{} GHz", self.0 / 1000)
+        } else {
+            write!(f, "{} MHz", self.0)
+        }
+    }
+}
+
+/// Converts native cycles of a slower (or faster) clock into CPU cycles.
+///
+/// The conversion rounds up: a request that needs 9 DRAM cycles at
+/// 166 MHz occupies at least `ceil(9 * 2000 / 166)` CPU cycles at 2 GHz.
+///
+/// # Example
+///
+/// ```
+/// use hipe_sim::{ClockDomain, Freq};
+/// let dram = ClockDomain::new(Freq::mhz(166), Freq::mhz(2000));
+/// // One DRAM cycle is a little over 12 CPU cycles.
+/// assert_eq!(dram.to_cpu(1), 13);
+/// assert_eq!(dram.to_cpu(9), 109);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDomain {
+    native: Freq,
+    cpu: Freq,
+}
+
+impl ClockDomain {
+    /// Creates a conversion between `native` and the `cpu` reference clock.
+    pub fn new(native: Freq, cpu: Freq) -> Self {
+        ClockDomain { native, cpu }
+    }
+
+    /// Returns the native frequency of this domain.
+    pub fn native(&self) -> Freq {
+        self.native
+    }
+
+    /// Returns the reference CPU frequency.
+    pub fn cpu(&self) -> Freq {
+        self.cpu
+    }
+
+    /// Converts `n` native cycles into CPU cycles, rounding up.
+    pub fn to_cpu(&self, n: Cycle) -> Cycle {
+        div_ceil(n * self.cpu.as_mhz(), self.native.as_mhz())
+    }
+
+    /// Converts `n` CPU cycles into native cycles, rounding up.
+    pub fn to_native(&self, n: Cycle) -> Cycle {
+        div_ceil(n * self.native.as_mhz(), self.cpu.as_mhz())
+    }
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    (a + b - 1) / b
+}
+
+/// Converts a cycle count at the given CPU frequency into nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use hipe_sim::{time_ns, Freq};
+/// assert_eq!(time_ns(2000, Freq::mhz(2000)), 1000.0);
+/// ```
+pub fn time_ns(cycles: Cycle, cpu: Freq) -> f64 {
+    cycles as f64 * 1000.0 / cpu.as_mhz() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_display() {
+        assert_eq!(Freq::ghz(2).to_string(), "2 GHz");
+        assert_eq!(Freq::mhz(166).to_string(), "166 MHz");
+    }
+
+    #[test]
+    fn dram_domain_round_trip_is_conservative() {
+        let d = ClockDomain::new(Freq::mhz(166), Freq::mhz(2000));
+        for n in 1..100 {
+            // Converting to CPU cycles and back never shrinks a duration.
+            assert!(d.to_native(d.to_cpu(n)) >= n);
+        }
+    }
+
+    #[test]
+    fn same_freq_is_identity() {
+        let d = ClockDomain::new(Freq::mhz(2000), Freq::mhz(2000));
+        assert_eq!(d.to_cpu(42), 42);
+        assert_eq!(d.to_native(42), 42);
+    }
+
+    #[test]
+    fn logic_layer_is_half_speed() {
+        // Logic layer at 1 GHz vs CPU at 2 GHz: one logic cycle = 2 CPU cycles.
+        let d = ClockDomain::new(Freq::ghz(1), Freq::ghz(2));
+        assert_eq!(d.to_cpu(1), 2);
+        assert_eq!(d.to_cpu(10), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_freq_panics() {
+        let _ = Freq::mhz(0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Root crate of the HIPE reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests in `tests/`. The library surface simply
+//! re-exports the top-level [`hipe`] crate for convenience.
+
+pub use hipe::*;
