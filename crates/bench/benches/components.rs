@@ -1,1 +1,68 @@
-fn main() {}
+//! Hot-path micro-benchmarks of the simulation kernel.
+//!
+//! Every simulated memory access, micro-op and logic instruction boils
+//! down to a handful of `Server`/`Window`/`ThroughputPipe` operations,
+//! so their per-call cost bounds overall simulator throughput. Each
+//! benchmark drives one primitive through a 1024-request schedule (the
+//! reported figure is therefore ~1/1024 of the per-call cost).
+//!
+//! Run with `cargo bench -p hipe-bench --bench components`.
+
+use hipe_sim::{FifoWindow, MultiServer, Server, ThroughputPipe, Window};
+use std::hint::black_box;
+
+const OPS: u64 = 1024;
+
+fn main() {
+    println!("# simulation-kernel hot paths ({OPS} requests per iter)");
+
+    hipe_bench::run("server_serve_stream", || {
+        let mut server = Server::new();
+        for i in 0..OPS {
+            black_box(server.serve(i, 40));
+        }
+        server.next_free()
+    });
+
+    hipe_bench::run("server_serve_pipelined_stream", || {
+        let mut server = Server::new();
+        for i in 0..OPS {
+            black_box(server.serve_pipelined(i, 1, 40));
+        }
+        server.next_free()
+    });
+
+    hipe_bench::run("multi_server_8_units_stream", || {
+        let mut pool = MultiServer::new(8);
+        for i in 0..OPS {
+            black_box(pool.serve(i, 40));
+        }
+        pool.next_free()
+    });
+
+    hipe_bench::run("window_admit_complete_stream", || {
+        let mut window = Window::new(64);
+        for i in 0..OPS {
+            let at = window.admit(i);
+            window.complete(at + 100);
+        }
+        window.drain()
+    });
+
+    hipe_bench::run("fifo_window_admit_complete_stream", || {
+        let mut rob = FifoWindow::new(168);
+        for i in 0..OPS {
+            let at = rob.admit(i);
+            rob.complete(at + 100);
+        }
+        rob.drain()
+    });
+
+    hipe_bench::run("throughput_pipe_transfer_stream", || {
+        let mut link = ThroughputPipe::new(16, 1, 20);
+        for i in 0..OPS {
+            black_box(link.transfer(i, 80));
+        }
+        link.next_free()
+    });
+}

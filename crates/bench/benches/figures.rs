@@ -1,1 +1,60 @@
-fn main() {}
+//! Paper-figure sweep: baseline vs HIPE over scan selectivities.
+//!
+//! Reproduces the shape of the paper's evaluation on the select-scan
+//! workload: for each selectivity point the same query runs end to end
+//! on the x86 baseline and on HIPE, and the table reports simulated
+//! cycles, speedup and DRAM/link energy ratios, plus the simulator's
+//! own wall time per run (the quantity the `components` benchmarks
+//! bound from below).
+//!
+//! Run with `cargo bench -p hipe-bench --bench figures`; scale the
+//! table with `HIPE_BENCH_ROWS`.
+
+use hipe::{Arch, System};
+use hipe_db::Query;
+use std::time::Instant;
+
+fn main() {
+    let rows = hipe_bench::bench_rows();
+    let sys = System::new(rows, 2018);
+    println!("# baseline-vs-HIPE select scan sweep, {rows} rows");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>8} {:>8} {:>8} {:>12}",
+        "query", "sel%", "x86_cycles", "hipe_cycles", "speedup", "dramE", "linkE", "sim_wall_ms"
+    );
+
+    // Quantity is uniform in 1..=50, so achievable selectivities move
+    // in 2 % steps; permille 0 is the all-squash extreme.
+    let mut points: Vec<(String, Query)> = [0, 20, 60, 100, 300, 500, 1000]
+        .into_iter()
+        .map(|pm| {
+            (
+                format!("sel_{:.0}%", pm as f64 / 10.0),
+                Query::quantity_below_permille(pm),
+            )
+        })
+        .collect();
+    points.push(("q6".to_string(), Query::q6()));
+
+    for (name, query) in points {
+        let start = Instant::now();
+        let base = sys.run(Arch::HostX86, &query);
+        let hipe = sys.run(Arch::Hipe, &query);
+        let wall = start.elapsed();
+        assert_eq!(
+            base.result.bitmask, hipe.result.bitmask,
+            "architectures diverged on {name}"
+        );
+        println!(
+            "{:<12} {:>6.2} {:>12} {:>12} {:>7.2}x {:>8.2} {:>8.2} {:>12.1}",
+            name,
+            100.0 * hipe.selectivity(),
+            base.cycles,
+            hipe.cycles,
+            hipe.speedup_over(&base),
+            hipe.energy.dram_pj() / base.energy.dram_pj(),
+            hipe.energy.link_pj() / base.energy.link_pj(),
+            wall.as_secs_f64() * 1e3,
+        );
+    }
+}

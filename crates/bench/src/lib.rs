@@ -1,1 +1,129 @@
-//! placeholder
+//! In-tree micro-benchmark harness.
+//!
+//! The build environment is offline, so `criterion` is not available;
+//! this module provides the small subset the workspace needs: adaptive
+//! iteration counts, wall-clock timing around [`std::hint::black_box`],
+//! and one-line reports. The bench targets in `benches/` are wired with
+//! `harness = false` and call [`run`] directly.
+//!
+//! Knobs (environment variables):
+//!
+//! * `HIPE_BENCH_MS` — target measurement time per benchmark in
+//!   milliseconds (default 100);
+//! * `HIPE_BENCH_ROWS` — table size for the figure sweeps (default
+//!   16384, kept small so the targets also double as smoke tests under
+//!   `cargo test`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Outcome of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations of the final measured batch.
+    pub iters: u64,
+    /// Wall time of the final measured batch.
+    pub total: Duration,
+}
+
+impl BenchResult {
+    /// Nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<40} {:>12.1} ns/iter ({} iters)",
+            self.name,
+            self.ns_per_iter(),
+            self.iters
+        )
+    }
+}
+
+/// Target measurement duration (`HIPE_BENCH_MS`, default 100 ms).
+pub fn target_duration() -> Duration {
+    let ms = std::env::var("HIPE_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms)
+}
+
+/// Table size for the figure sweeps (`HIPE_BENCH_ROWS`, default 16384,
+/// clamped to at least 1 tuple).
+pub fn bench_rows() -> usize {
+    std::env::var("HIPE_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16_384)
+        .max(1)
+}
+
+/// Runs `f` repeatedly for at least `target`, growing the iteration
+/// count geometrically, and returns the final batch's timing.
+pub fn run_for<R>(name: &str, target: Duration, mut f: impl FnMut() -> R) -> BenchResult {
+    black_box(f()); // warm up caches and lazy state
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        if total >= target || iters >= 1 << 30 {
+            return BenchResult {
+                name: name.to_string(),
+                iters,
+                total,
+            };
+        }
+        // Aim directly for the target with 20 % headroom.
+        let per_iter = (total.as_nanos() as u64 / iters).max(1);
+        let needed = target.as_nanos() as u64 * 6 / 5 / per_iter;
+        iters = needed.max(iters * 2);
+    }
+}
+
+/// Runs `f` for the configured target duration and prints the result.
+pub fn run<R>(name: &str, f: impl FnMut() -> R) -> BenchResult {
+    let result = run_for(name, target_duration(), f);
+    println!("{result}");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_for_reaches_target_and_reports() {
+        let mut calls = 0u64;
+        let result = run_for("spin", Duration::from_millis(2), || {
+            calls += 1;
+            std::hint::black_box(calls)
+        });
+        assert!(result.total >= Duration::from_millis(2));
+        assert!(result.iters >= 1);
+        assert!(calls > result.iters, "warmup call missing");
+        assert!(result.ns_per_iter() > 0.0);
+        assert!(result.to_string().contains("spin"));
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Not setting the variables yields the documented defaults.
+        if std::env::var("HIPE_BENCH_MS").is_err() {
+            assert_eq!(target_duration(), Duration::from_millis(100));
+        }
+        if std::env::var("HIPE_BENCH_ROWS").is_err() {
+            assert_eq!(bench_rows(), 16_384);
+        }
+    }
+}

@@ -217,7 +217,9 @@ impl CacheHierarchy {
         }
         self.stats.l3_misses += 1;
         let adm3 = self.l3.mshr.admit(t3);
-        let done = mem.access(adm3, line, LINE_BYTES, AccessKind::Read).complete;
+        let done = mem
+            .access(adm3, line, LINE_BYTES, AccessKind::Read)
+            .complete;
         self.fill(mem, 3, line, write, done);
         self.l3.mshr.complete(done);
         self.l2.mshr.complete(done);
@@ -277,7 +279,9 @@ impl CacheHierarchy {
             t3.max(r)
         } else {
             let adm3 = self.l3.mshr.admit(t3);
-            let done = mem.access(adm3, line, LINE_BYTES, AccessKind::Read).complete;
+            let done = mem
+                .access(adm3, line, LINE_BYTES, AccessKind::Read)
+                .complete;
             self.l3.mshr.complete(done);
             if let Some((victim, dirty)) = self.l3.tags.fill(line) {
                 if dirty {
@@ -303,7 +307,9 @@ impl CacheHierarchy {
             t3.max(r)
         } else {
             let adm3 = self.l3.mshr.admit(t3);
-            let done = mem.access(adm3, line, LINE_BYTES, AccessKind::Read).complete;
+            let done = mem
+                .access(adm3, line, LINE_BYTES, AccessKind::Read)
+                .complete;
             self.l3.mshr.complete(done);
             if let Some((victim, dirty)) = self.l3.tags.fill(line) {
                 if dirty {
@@ -407,7 +413,7 @@ mod tests {
 
     #[test]
     fn mshrs_bound_outstanding_misses() {
-        let (mut mem, mut c) = setup();
+        let (mut mem, _c) = setup();
         // Issue many independent misses at cycle 0 with prefetchers off
         // (random-ish stride so the stride detector stays cold).
         let mut without = CacheHierarchy::new(HierarchyConfig::without_prefetchers());

@@ -98,7 +98,9 @@ impl StreamPrefetcher {
     /// containing `addr`.
     pub fn on_miss(&self, addr: u64) -> Vec<u64> {
         let line = addr / LINE_BYTES * LINE_BYTES;
-        (1..=self.depth as u64).map(|d| line + d * LINE_BYTES).collect()
+        (1..=self.depth as u64)
+            .map(|d| line + d * LINE_BYTES)
+            .collect()
     }
 }
 

@@ -1,0 +1,168 @@
+//! Lowering of select scans to x86-baseline micro-op streams.
+
+use hipe_db::{DsmLayout, Query, COLUMN_BYTES};
+use hipe_isa::{MicroOp, MicroOpKind, OpSize};
+
+/// Rows per vector line: one 64 B cache line of 8 B column values.
+const LINE_ROWS: usize = 8;
+
+/// Lines per packed-mask word: 8 lines x 8 rows = 64 rows = one `u64`
+/// of match bits.
+const LINES_PER_MASK_WORD: usize = 8;
+
+/// Lowers `query` over a DSM `layout` into the micro-op stream of a
+/// vectorized column-at-a-time scan, writing a packed 1-bit-per-row
+/// match mask at `mask_base`.
+///
+/// The modelled kernel is the paper's x86/AVX baseline (Figure 1b):
+/// for every predicate, stream the column through the cache hierarchy
+/// in 64 B vector loads, compare each lane against the immediate,
+/// pack the lane results into bits, and combine them into the mask —
+/// the first predicate stores fresh mask words, later predicates
+/// read-modify-write them. Each line also carries the loop-overhead
+/// ALU op and a well-predicted loop branch.
+///
+/// # Example
+///
+/// ```
+/// use hipe_compiler::lower_host_scan;
+/// use hipe_db::{DsmLayout, Query};
+///
+/// let layout = DsmLayout::new(0, 512);
+/// let ops = lower_host_scan(&Query::q6(), &layout, 1 << 20);
+/// // Three predicates, 64 lines each, >= 5 micro-ops per line.
+/// assert!(ops.len() >= 3 * 64 * 5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the layout has zero rows.
+pub fn lower_host_scan(query: &Query, layout: &DsmLayout, mask_base: u64) -> Vec<MicroOp> {
+    assert!(layout.rows() > 0, "cannot lower a scan over zero rows");
+    let vec_size = OpSize::new(64).expect("64 B is a supported vector width");
+    let lines = layout.rows().div_ceil(LINE_ROWS);
+    let mut ops = Vec::with_capacity(query.predicates().len() * lines * 6);
+
+    for (pi, p) in query.predicates().iter().enumerate() {
+        let col = layout.column_base(p.column);
+        for line in 0..lines {
+            let addr = col + (line * LINE_ROWS) as u64 * COLUMN_BYTES;
+            // Vector load of 8 column values.
+            ops.push(MicroOp::new(MicroOpKind::Load { addr, bytes: 64 }));
+            // Lane-wise compare against the immediate(s).
+            ops.push(MicroOp::new(MicroOpKind::VecAlu { size: vec_size }).with_deps(1, 0));
+            // Pack lane results to bits (movemask-style).
+            ops.push(MicroOp::new(MicroOpKind::IntAlu).with_deps(1, 0));
+            // Mask word boundary: combine and write back 64 packed bits.
+            if (line + 1) % LINES_PER_MASK_WORD == 0 || line + 1 == lines {
+                let word = line / LINES_PER_MASK_WORD;
+                let mask_addr = mask_base + word as u64 * 8;
+                if pi == 0 {
+                    // Fresh mask word: store the packed bits.
+                    ops.push(
+                        MicroOp::new(MicroOpKind::Store {
+                            addr: mask_addr,
+                            bytes: 8,
+                        })
+                        .with_deps(1, 0),
+                    );
+                } else {
+                    // Refine: load, AND with the packed bits, store.
+                    ops.push(MicroOp::new(MicroOpKind::Load {
+                        addr: mask_addr,
+                        bytes: 8,
+                    }));
+                    ops.push(MicroOp::new(MicroOpKind::IntAlu).with_deps(1, 2));
+                    ops.push(
+                        MicroOp::new(MicroOpKind::Store {
+                            addr: mask_addr,
+                            bytes: 8,
+                        })
+                        .with_deps(1, 0),
+                    );
+                }
+            }
+            // Loop overhead: index increment + biased (predicted) branch.
+            ops.push(MicroOp::new(MicroOpKind::IntAlu));
+            ops.push(MicroOp::new(MicroOpKind::Branch { mispredict: false }).with_deps(1, 0));
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipe_db::{CmpOp, Column, ColumnPredicate};
+
+    fn one_pred_query() -> Query {
+        Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Lt(10))],
+            false,
+        )
+    }
+
+    #[test]
+    fn stream_touches_whole_column() {
+        let layout = DsmLayout::new(0, 1024);
+        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20);
+        let col = layout.column_base(Column::Quantity);
+        let loads: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match o.kind {
+                MicroOpKind::Load { addr, bytes: 64 } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads.len(), 128);
+        assert_eq!(loads[0], col);
+        assert_eq!(*loads.last().expect("non-empty"), col + 127 * 64);
+    }
+
+    #[test]
+    fn later_predicates_read_modify_write_mask() {
+        let layout = DsmLayout::new(0, 64);
+        let q = Query::q6();
+        let ops = lower_host_scan(&q, &layout, 1 << 20);
+        let mask_loads = ops
+            .iter()
+            .filter(|o| matches!(o.kind, MicroOpKind::Load { bytes: 8, .. }))
+            .count();
+        let mask_stores = ops
+            .iter()
+            .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
+            .count();
+        // 64 rows = 1 mask word; predicate 0 stores it, predicates 1-2
+        // load + store it.
+        assert_eq!(mask_loads, 2);
+        assert_eq!(mask_stores, 3);
+    }
+
+    #[test]
+    fn loop_branches_are_predicted() {
+        let layout = DsmLayout::new(0, 256);
+        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20);
+        assert!(ops
+            .iter()
+            .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
+    }
+
+    #[test]
+    fn tail_rows_emit_final_mask_word() {
+        // 70 rows = 9 lines: the last (partial) word is flushed.
+        let layout = DsmLayout::new(0, 70);
+        let ops = lower_host_scan(&one_pred_query(), &layout, 4096);
+        let stores = ops
+            .iter()
+            .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn zero_rows_panics() {
+        let layout = DsmLayout::new(0, 0);
+        let _ = lower_host_scan(&one_pred_query(), &layout, 0);
+    }
+}

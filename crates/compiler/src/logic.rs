@@ -1,0 +1,278 @@
+//! Lowering of select scans to HIVE/HIPE logic-layer programs.
+
+use hipe_db::{CmpOp, DsmLayout, Query};
+use hipe_isa::{AluOp, LogicInstr, OpSize, Predicate, RegId};
+
+/// Rows covered by one logic-layer operation: a full 256 B register
+/// (32 x 8 B lanes), which is also one DRAM row buffer.
+pub const REGION_ROWS: usize = 32;
+
+/// A lowered logic-layer select scan.
+///
+/// The program is a flat in-order instruction stream: one `Lock`, then
+/// per-region compare/AND/store blocks, then one `Unlock` whose
+/// acknowledgement tells the host the scan (and its mask stores) is
+/// complete. Region `i` covers rows `[32 * i, 32 * i + 32)` and writes
+/// its match mask (one 0/1 lane per row) to `mask_addr(i)`.
+///
+/// # Example
+///
+/// ```
+/// use hipe_compiler::{lower_logic_scan, REGION_ROWS};
+/// use hipe_db::{DsmLayout, Query};
+///
+/// let layout = DsmLayout::new(0, 1000);
+/// let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 20, true);
+/// assert_eq!(prog.regions(), 1000usize.div_ceil(REGION_ROWS));
+/// assert_eq!(prog.mask_addr(2), (1 << 20) + 512);
+/// // Lock + per-region block + Unlock.
+/// assert!(prog.instrs().len() > 2 * prog.regions());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogicScanProgram {
+    instrs: Vec<LogicInstr>,
+    regions: usize,
+    mask_base: u64,
+}
+
+impl LogicScanProgram {
+    /// The instruction stream, in program order.
+    pub fn instrs(&self) -> &[LogicInstr] {
+        &self.instrs
+    }
+
+    /// Number of 32-row regions the scan is tiled into.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Base address of the mask output area.
+    pub fn mask_base(&self) -> u64 {
+        self.mask_base
+    }
+
+    /// Address of region `i`'s 256 B mask chunk.
+    pub fn mask_addr(&self, i: usize) -> u64 {
+        self.mask_base + i as u64 * OpSize::MAX.bytes()
+    }
+
+    /// Bytes of mask output the program writes (one 256 B chunk per
+    /// region).
+    pub fn mask_bytes(&self) -> u64 {
+        self.regions as u64 * OpSize::MAX.bytes()
+    }
+}
+
+/// Maps a database comparison onto the logic-layer ALU.
+fn alu_op(cmp: CmpOp) -> AluOp {
+    match cmp {
+        CmpOp::Lt(x) => AluOp::CmpLtImm(x),
+        CmpOp::Le(x) => AluOp::CmpLeImm(x),
+        CmpOp::Gt(x) => AluOp::CmpGtImm(x),
+        CmpOp::Ge(x) => AluOp::CmpGeImm(x),
+        CmpOp::Eq(x) => AluOp::CmpEqImm(x),
+        CmpOp::Range(lo, hi) => AluOp::CmpRangeImm(lo, hi),
+    }
+}
+
+/// Lowers `query` over a DSM `layout` into a logic-layer program whose
+/// match masks are written starting at `mask_base` (256 B per region).
+///
+/// With `predicated` set (HIPE), every instruction of a region after
+/// the first compare carries an any-non-zero predicate on the running
+/// mask register; without it (HIVE) the same stream is emitted
+/// unpredicated. Regions use two alternating register sets so that a
+/// region's loads can overlap the previous region's stores (the
+/// interlocked bank resolves the WAR hazards).
+///
+/// # Panics
+///
+/// Panics if the layout has zero rows.
+pub fn lower_logic_scan(
+    query: &Query,
+    layout: &DsmLayout,
+    mask_base: u64,
+    predicated: bool,
+) -> LogicScanProgram {
+    assert!(layout.rows() > 0, "cannot lower a scan over zero rows");
+    let size = OpSize::MAX;
+    let regions = layout.rows().div_ceil(REGION_ROWS);
+    let npreds = query.predicates().len();
+    // Lock + Unlock + per region: 2 + 3 * (npreds - 1) + 1.
+    let mut instrs = Vec::with_capacity(2 + regions * (3 * npreds));
+
+    // Two register sets, alternated between consecutive regions:
+    // (data, mask, tmp).
+    let set = |base: usize| {
+        (
+            RegId::new(base).expect("register in bank"),
+            RegId::new(base + 1).expect("register in bank"),
+            RegId::new(base + 2).expect("register in bank"),
+        )
+    };
+    let sets = [set(0), set(3)];
+
+    instrs.push(LogicInstr::Lock);
+    for region in 0..regions {
+        let (r_data, r_mask, r_tmp) = sets[region % 2];
+        let chunk = region as u64 * size.bytes();
+        let guard = predicated.then(|| Predicate::any_nonzero(r_mask));
+        for (pi, p) in query.predicates().iter().enumerate() {
+            let addr = layout.column_base(p.column) + chunk;
+            // The first predicate of a region establishes the mask and
+            // cannot be guarded by it.
+            let pred = if pi == 0 { None } else { guard };
+            instrs.push(LogicInstr::Load {
+                dst: r_data,
+                addr,
+                size,
+                pred,
+            });
+            if pi == 0 {
+                instrs.push(LogicInstr::Alu {
+                    op: alu_op(p.cmp),
+                    dst: r_mask,
+                    a: r_data,
+                    b: None,
+                    size,
+                    pred: None,
+                });
+            } else {
+                instrs.push(LogicInstr::Alu {
+                    op: alu_op(p.cmp),
+                    dst: r_tmp,
+                    a: r_data,
+                    b: None,
+                    size,
+                    pred,
+                });
+                instrs.push(LogicInstr::Alu {
+                    op: AluOp::And,
+                    dst: r_mask,
+                    a: r_mask,
+                    b: Some(r_tmp),
+                    size,
+                    pred,
+                });
+            }
+        }
+        // The mask area starts zeroed, so a squashed store leaves the
+        // correct all-zero mask behind.
+        instrs.push(LogicInstr::Store {
+            src: r_mask,
+            addr: mask_base + chunk,
+            size,
+            pred: guard,
+        });
+    }
+    instrs.push(LogicInstr::Unlock);
+
+    LogicScanProgram {
+        instrs,
+        regions,
+        mask_base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipe_db::{Column, ColumnPredicate};
+
+    fn one_pred_query() -> Query {
+        Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Lt(10))],
+            false,
+        )
+    }
+
+    #[test]
+    fn single_predicate_block_shape() {
+        let layout = DsmLayout::new(0, 64);
+        let prog = lower_logic_scan(&one_pred_query(), &layout, 4096, true);
+        assert_eq!(prog.regions(), 2);
+        // Lock, (Load, Cmp, Store) x 2, Unlock.
+        assert_eq!(prog.instrs().len(), 8);
+        assert!(matches!(prog.instrs()[0], LogicInstr::Lock));
+        assert!(matches!(prog.instrs()[7], LogicInstr::Unlock));
+    }
+
+    #[test]
+    fn q6_emits_three_compares_per_region() {
+        let layout = DsmLayout::new(0, 32);
+        let prog = lower_logic_scan(&Query::q6(), &layout, 4096, true);
+        let alu = prog
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, LogicInstr::Alu { .. }))
+            .count();
+        // 3 compares + 2 ANDs for one region.
+        assert_eq!(alu, 5);
+    }
+
+    #[test]
+    fn hive_lowering_is_unpredicated() {
+        let layout = DsmLayout::new(0, 320);
+        let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 16, false);
+        assert!(prog.instrs().iter().all(|i| i.predicate().is_none()));
+    }
+
+    #[test]
+    fn hipe_lowering_guards_everything_after_first_compare() {
+        let layout = DsmLayout::new(0, 32);
+        let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 16, true);
+        let preds = prog
+            .instrs()
+            .iter()
+            .filter(|i| i.predicate().is_some())
+            .count();
+        // Per region: 2 loads, 2 compares, 2 ANDs, 1 store are guarded.
+        assert_eq!(preds, 7);
+    }
+
+    #[test]
+    fn first_load_and_compare_never_predicated() {
+        let layout = DsmLayout::new(0, 3200);
+        let prog = lower_logic_scan(&one_pred_query(), &layout, 1 << 20, true);
+        for w in prog.instrs().windows(2) {
+            if let [LogicInstr::Load { pred, .. }, LogicInstr::Alu { pred: apred, .. }] = w {
+                if pred.is_none() {
+                    assert!(apred.is_none(), "first compare must be unguarded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_addresses_are_disjoint_row_buffers() {
+        let layout = DsmLayout::new(0, 100);
+        let prog = lower_logic_scan(&one_pred_query(), &layout, 1 << 20, true);
+        assert_eq!(prog.regions(), 4);
+        for i in 1..prog.regions() {
+            assert_eq!(prog.mask_addr(i) - prog.mask_addr(i - 1), 256);
+        }
+        assert_eq!(prog.mask_bytes(), 4 * 256);
+    }
+
+    #[test]
+    fn consecutive_regions_alternate_register_sets() {
+        let layout = DsmLayout::new(0, 64);
+        let prog = lower_logic_scan(&one_pred_query(), &layout, 1 << 20, false);
+        let dsts: Vec<_> = prog
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                LogicInstr::Load { dst, .. } => Some(dst.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dsts, vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn zero_rows_panics() {
+        let layout = DsmLayout::new(0, 0);
+        let _ = lower_logic_scan(&one_pred_query(), &layout, 0, true);
+    }
+}

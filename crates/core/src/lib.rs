@@ -1,1 +1,47 @@
-//! placeholder
+//! Top-level driver of the HIPE reproduction.
+//!
+//! This crate (library name `hipe`) assembles the component models of
+//! the workspace into runnable *architectures* and drives the paper's
+//! headline experiment end to end: a select scan over a TPC-H-style
+//! `lineitem` table, compiled once per target and executed on
+//!
+//! * **x86 baseline** ([`Arch::HostX86`]) — the query is lowered to a
+//!   vectorized micro-op stream ([`hipe_compiler::lower_host_scan`])
+//!   executed by the out-of-order core; all data crosses the HMC serial
+//!   links and the cache hierarchy;
+//! * **HIVE** ([`Arch::Hive`]) — the query is lowered to a logic-layer
+//!   program ([`hipe_compiler::lower_logic_scan`]) posted to the
+//!   in-cube engine; column data never leaves the cube;
+//! * **HIPE** ([`Arch::Hipe`]) — the same program with predication:
+//!   regions whose running mask is all-zero squash their remaining
+//!   instructions in one sequencer slot each.
+//!
+//! Every run is *co-simulated*: timing comes from the cycle models,
+//! while the functional result is computed from the bytes actually
+//! stored in the cube's memory image, so the returned
+//! [`hipe_db::scan::ScanResult`]s can be compared bit for bit across
+//! architectures (the cross-crate integration tests in the workspace
+//! root do exactly that).
+//!
+//! # Example
+//!
+//! ```
+//! use hipe::{Arch, System};
+//! use hipe_db::Query;
+//!
+//! let sys = System::new(4096, 42);
+//! let q = Query::quantity_below_permille(30); // ~3 % selectivity
+//! let base = sys.run(Arch::HostX86, &q);
+//! let hipe = sys.run(Arch::Hipe, &q);
+//! // Same answer, fewer cycles near-data.
+//! assert_eq!(base.result.bitmask, hipe.result.bitmask);
+//! assert!(hipe.cycles < base.cycles);
+//! ```
+
+mod host;
+mod neardata;
+mod report;
+mod system;
+
+pub use report::{Arch, RunReport};
+pub use system::{System, SystemConfig};

@@ -1,0 +1,195 @@
+//! The near-data runners: HIVE and HIPE logic-layer execution.
+
+use crate::report::{Arch, RunReport};
+use crate::system::System;
+use hipe_compiler::{LogicScanProgram, REGION_ROWS};
+use hipe_cpu::{Core, MemoryPort};
+use hipe_db::{Bitmask, Query};
+use hipe_hmc::Hmc;
+use hipe_isa::{LogicInstr, MicroOp, MicroOpKind, OpSize, VaultOp};
+use hipe_logic::Engine;
+use hipe_sim::Cycle;
+
+/// Encoded size of one logic-layer instruction on the link: one 16 B
+/// flit. The packet header (`HmcConfig::packet_header_bytes`) is added
+/// on top when the dispatch packet is sized.
+const INSTR_FLIT_BYTES: u64 = 16;
+
+/// Memory port of the HIVE/HIPE architectures: `logic_dispatch`
+/// forwards the next queued instruction over the request link into the
+/// co-simulated engine; `logic_wait` blocks on the unlock
+/// acknowledgement. Demand reads/writes bypass the caches (the scan
+/// kernel itself never issues them; they exist so diagnostics and
+/// future mixed kernels have an uncached path).
+struct LogicPort<'a> {
+    hmc: &'a mut Hmc,
+    engine: &'a mut Engine,
+    /// Program instructions not yet dispatched.
+    next: std::slice::Iter<'a, LogicInstr>,
+    /// Link bytes of one instruction packet.
+    instr_bytes: u64,
+    /// One-way link latency (to convert arrival back to handoff time).
+    link_latency: Cycle,
+    /// Arrival cycle of the most recent unlock acknowledgement.
+    ack: Cycle,
+}
+
+impl MemoryPort for LogicPort<'_> {
+    fn read(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
+        self.hmc
+            .access(cycle, addr, bytes, hipe_hmc::AccessKind::Read)
+            .complete
+    }
+
+    fn write(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
+        self.hmc
+            .access(cycle, addr, bytes, hipe_hmc::AccessKind::Write)
+            .complete
+    }
+
+    fn hmc_dispatch(
+        &mut self,
+        cycle: Cycle,
+        addr: u64,
+        size: OpSize,
+        _op: VaultOp,
+        result_bytes: u64,
+    ) -> Cycle {
+        self.hmc
+            .access(
+                cycle,
+                addr,
+                size.bytes(),
+                hipe_hmc::AccessKind::PimOp { result_bytes },
+            )
+            .complete
+    }
+
+    fn logic_dispatch(&mut self, cycle: Cycle) -> Cycle {
+        let instr = *self
+            .next
+            .next()
+            .expect("more dispatch micro-ops than program instructions");
+        let at_cube = self.hmc.link_request(cycle, self.instr_bytes);
+        let outcome = self.engine.execute(self.hmc, instr, at_cube);
+        if matches!(instr, LogicInstr::Unlock) {
+            self.ack = self
+                .hmc
+                .link_response(outcome.done, self.instr_bytes)
+                .max(self.ack);
+        }
+        // The store-queue entry frees once the last byte left the host,
+        // i.e. one link latency before the packet reaches the cube.
+        at_cube - self.link_latency
+    }
+
+    fn logic_wait(&mut self, cycle: Cycle) -> Cycle {
+        cycle.max(self.ack)
+    }
+}
+
+/// Executes `query` on a logic-layer architecture (`predicated` picks
+/// HIPE over HIVE).
+pub(crate) fn run(sys: &System, query: &Query, predicated: bool) -> RunReport {
+    let mut hmc = sys.fresh_hmc();
+    let logic_cfg = if predicated {
+        sys.config().hipe
+    } else {
+        sys.config().hive
+    };
+    let mut engine = Engine::new(logic_cfg);
+    let mut core = Core::new(sys.config().core);
+
+    let program = hipe_compiler::lower_logic_scan(query, sys.layout(), sys.mask_base(), predicated);
+    {
+        let mut port = LogicPort {
+            hmc: &mut hmc,
+            engine: &mut engine,
+            next: program.instrs().iter(),
+            instr_bytes: sys.config().hmc.packet_header_bytes + INSTR_FLIT_BYTES,
+            link_latency: sys.config().hmc.link_latency,
+            ack: 0,
+        };
+        // The host posts one dispatch micro-op per instruction, then
+        // blocks on the engine's unlock acknowledgement.
+        for _ in 0..program.instrs().len() {
+            core.execute(MicroOp::new(MicroOpKind::LogicDispatch), &mut port);
+        }
+        core.execute(MicroOp::new(MicroOpKind::LogicWait), &mut port);
+    }
+    let cycles = core.finish();
+
+    let bitmask = read_mask(&hmc, &program, sys.layout().rows());
+    let result = sys.finish_result(&hmc, query, bitmask);
+    hmc.finish(cycles);
+
+    RunReport {
+        arch: if predicated { Arch::Hipe } else { Arch::Hive },
+        result,
+        cycles,
+        energy: hmc.energy(),
+        core: core.stats(),
+        cache: None,
+        engine: Some(engine.stats()),
+        hmc: hmc.stats(),
+    }
+}
+
+/// Reads the engine-written per-region masks (one 0/1 lane per row)
+/// back from the cube image as a row bitmask.
+fn read_mask(hmc: &Hmc, program: &LogicScanProgram, rows: usize) -> Bitmask {
+    (0..rows)
+        .map(|i| {
+            let region = i / REGION_ROWS;
+            let lane = (i % REGION_ROWS) as u64;
+            hmc.read_u64(program.mask_addr(region) + lane * 8) != 0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipe_db::scan;
+
+    #[test]
+    fn hive_matches_reference_executor() {
+        let sys = System::new(2000, 31);
+        let q = Query::q6();
+        let report = run(&sys, &q, false);
+        assert_eq!(report.result, scan::reference(sys.table(), &q));
+        let engine = report.engine.expect("logic path has an engine");
+        assert_eq!(engine.squashed, 0);
+        assert_eq!(engine.blocks, 1);
+    }
+
+    #[test]
+    fn hipe_matches_reference_and_squashes() {
+        let sys = System::new(5000, 32);
+        // 1 % selectivity: most regions die after the first compare.
+        let q = Query::quantity_below_permille(10);
+        let report = run(&sys, &q, true);
+        assert_eq!(report.result, scan::reference(sys.table(), &q));
+        assert!(report.engine.expect("engine stats").squashed > 0);
+    }
+
+    #[test]
+    fn hipe_no_faster_than_hive_is_never_true() {
+        let sys = System::new(8192, 33);
+        let q = Query::quantity_below_permille(10);
+        let hive = run(&sys, &q, false);
+        let hipe = run(&sys, &q, true);
+        assert_eq!(hive.result, hipe.result);
+        assert!(hipe.cycles <= hive.cycles, "predication slowed the scan");
+    }
+
+    #[test]
+    fn column_data_stays_off_the_links() {
+        let sys = System::new(4096, 34);
+        let q = Query::quantity_below_permille(100);
+        let report = run(&sys, &q, true);
+        // Only instruction packets and the ack cross the links: far less
+        // than the 8 B/row the baseline must move.
+        assert!(report.hmc.link_bytes < 4096 * 8 / 2);
+    }
+}

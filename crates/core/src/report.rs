@@ -1,0 +1,127 @@
+//! Run reports: what one end-to-end query execution produced.
+
+use hipe_cache::CacheStats;
+use hipe_cpu::CoreStats;
+use hipe_db::scan::ScanResult;
+use hipe_hmc::{EnergyBreakdown, HmcStats};
+use hipe_logic::EngineStats;
+use hipe_sim::Cycle;
+
+/// The simulated architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// x86/AVX baseline: everything in the core, data through the
+    /// caches and serial links.
+    HostX86,
+    /// HIVE: unpredicated logic-layer execution inside the cube.
+    Hive,
+    /// HIPE: HIVE plus the predication match logic.
+    Hipe,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Arch::HostX86 => "x86",
+            Arch::Hive => "HIVE",
+            Arch::Hipe => "HIPE",
+        })
+    }
+}
+
+/// Outcome of one query execution on one architecture.
+///
+/// `result` is the functional answer (identical across architectures
+/// by construction — the integration tests enforce it); the remaining
+/// fields are the measurements the paper's figures are built from.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Architecture that produced this report.
+    pub arch: Arch,
+    /// Functional scan result (bitmask, match count, aggregate).
+    pub result: ScanResult,
+    /// End-to-end cycle count of the scan.
+    pub cycles: Cycle,
+    /// Energy accumulated across cube, links, logic and caches.
+    pub energy: EnergyBreakdown,
+    /// Out-of-order core activity.
+    pub core: CoreStats,
+    /// Cache hierarchy activity (host-path architectures only).
+    pub cache: Option<CacheStats>,
+    /// Logic-layer engine activity (HIVE/HIPE only).
+    pub engine: Option<EngineStats>,
+    /// Cube activity.
+    pub hmc: HmcStats,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to `other` (>1 means faster).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        other.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Fraction of tuples selected by the scan.
+    pub fn selectivity(&self) -> f64 {
+        if self.result.bitmask.is_empty() {
+            0.0
+        } else {
+            self.result.matches as f64 / self.result.bitmask.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles, {} / {} tuples ({:.2} %), energy {}",
+            self.arch,
+            self.cycles,
+            self.result.matches,
+            self.result.bitmask.len(),
+            100.0 * self.selectivity(),
+            self.energy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipe_db::Bitmask;
+
+    fn dummy(arch: Arch, cycles: Cycle, matches: usize) -> RunReport {
+        let mut bitmask = Bitmask::zeros(100);
+        for i in 0..matches {
+            bitmask.set(i);
+        }
+        RunReport {
+            arch,
+            result: ScanResult {
+                bitmask,
+                matches,
+                aggregate: None,
+            },
+            cycles,
+            energy: EnergyBreakdown::new(),
+            core: CoreStats::default(),
+            cache: None,
+            engine: None,
+            hmc: HmcStats::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_and_selectivity() {
+        let a = dummy(Arch::HostX86, 1000, 2);
+        let b = dummy(Arch::Hipe, 250, 2);
+        assert_eq!(b.speedup_over(&a), 4.0);
+        assert_eq!(a.selectivity(), 0.02);
+    }
+
+    #[test]
+    fn display_mentions_arch() {
+        let r = dummy(Arch::Hive, 10, 0);
+        assert!(r.to_string().starts_with("HIVE:"));
+    }
+}

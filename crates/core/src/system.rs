@@ -1,0 +1,199 @@
+//! The assembled system: table, memory image and per-architecture runs.
+
+use crate::report::{Arch, RunReport};
+use crate::{host, neardata};
+use hipe_cache::HierarchyConfig;
+use hipe_compiler::REGION_ROWS;
+use hipe_cpu::CoreConfig;
+use hipe_db::scan::ScanResult;
+use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query};
+use hipe_hmc::{Hmc, HmcConfig};
+use hipe_isa::OpSize;
+use hipe_logic::LogicConfig;
+
+/// Configuration of a full system: workload size plus the paper's
+/// component parameters (all overridable for experiments).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Tuples in the lineitem table.
+    pub rows: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Out-of-order core parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Cube parameters.
+    pub hmc: HmcConfig,
+    /// Logic-layer engine parameters for HIVE (no predication).
+    pub hive: LogicConfig,
+    /// Logic-layer engine parameters for HIPE (predication).
+    pub hipe: LogicConfig,
+}
+
+impl SystemConfig {
+    /// Table I parameters at the given workload size.
+    pub fn paper(rows: usize, seed: u64) -> Self {
+        SystemConfig {
+            rows,
+            seed,
+            core: CoreConfig::paper(),
+            hierarchy: HierarchyConfig::paper(),
+            hmc: HmcConfig::paper(),
+            hive: LogicConfig::paper(),
+            hipe: LogicConfig::paper_hipe(),
+        }
+    }
+}
+
+/// A runnable system: a generated table laid out column-wise (DSM) in
+/// cube memory, ready to execute select scans on any [`Arch`].
+///
+/// Every [`run`](Self::run) starts from a cold, freshly populated cube
+/// so that repeated runs and cross-architecture comparisons are
+/// deterministic and independent.
+///
+/// # Example
+///
+/// ```
+/// use hipe::{Arch, System};
+/// use hipe_db::Query;
+///
+/// let sys = System::new(2048, 7);
+/// let report = sys.run(Arch::Hipe, &Query::q6());
+/// assert_eq!(report.result.bitmask.len(), 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    cfg: SystemConfig,
+    table: LineitemTable,
+    layout: DsmLayout,
+    mask_base: u64,
+    image_len: usize,
+}
+
+impl System {
+    /// Creates a paper-configured system over `rows` tuples.
+    pub fn new(rows: usize, seed: u64) -> Self {
+        System::with_config(SystemConfig::paper(rows, seed))
+    }
+
+    /// Creates a system with explicit component parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.rows` is zero.
+    pub fn with_config(cfg: SystemConfig) -> Self {
+        assert!(cfg.rows > 0, "a system needs at least one tuple");
+        let table = LineitemTable::generate(cfg.rows, cfg.seed);
+        let layout = DsmLayout::new(0, cfg.rows);
+        // The mask area follows the table; DSM column strides are 256 B
+        // aligned, so `layout.bytes()` already is too.
+        let mask_base = layout.bytes();
+        let regions = cfg.rows.div_ceil(REGION_ROWS);
+        let image_len = (mask_base + regions as u64 * OpSize::MAX.bytes()) as usize;
+        System {
+            cfg,
+            table,
+            layout,
+            mask_base,
+            image_len,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The generated table.
+    pub fn table(&self) -> &LineitemTable {
+        &self.table
+    }
+
+    /// The DSM layout of the table in cube memory.
+    pub fn layout(&self) -> &DsmLayout {
+        &self.layout
+    }
+
+    /// Base address of the match-mask output area.
+    pub fn mask_base(&self) -> u64 {
+        self.mask_base
+    }
+
+    /// Builds a cold cube populated with the table image.
+    pub(crate) fn fresh_hmc(&self) -> Hmc {
+        let mut hmc = Hmc::new(self.cfg.hmc.clone(), self.image_len);
+        hmc.write_bytes(self.layout.base(), &self.layout.materialize(&self.table));
+        hmc
+    }
+
+    /// Executes `query` on `arch` and reports results and measurements.
+    pub fn run(&self, arch: Arch, query: &Query) -> RunReport {
+        match arch {
+            Arch::HostX86 => host::run(self, query),
+            Arch::Hive => neardata::run(self, query, false),
+            Arch::Hipe => neardata::run(self, query, true),
+        }
+    }
+
+    /// Convenience: runs `query` on the host baseline and on HIPE.
+    pub fn compare(&self, query: &Query) -> (RunReport, RunReport) {
+        (self.run(Arch::HostX86, query), self.run(Arch::Hipe, query))
+    }
+
+    /// Completes a scan `bitmask` into a [`ScanResult`], computing the
+    /// aggregate (if the query has one) from the values in the cube
+    /// image — i.e. from what the simulated machine actually stored.
+    pub(crate) fn finish_result(&self, hmc: &Hmc, query: &Query, bitmask: Bitmask) -> ScanResult {
+        let matches = bitmask.count_ones();
+        let aggregate = query.aggregates().then(|| {
+            bitmask
+                .iter_ones()
+                .map(|i| {
+                    let price = hmc.read_u64(self.layout.value_addr(Column::ExtendedPrice, i));
+                    let discount = hmc.read_u64(self.layout.value_addr(Column::Discount, i));
+                    price as i64 as i128 * discount as i64 as i128
+                })
+                .sum()
+        });
+        ScanResult {
+            bitmask,
+            matches,
+            aggregate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_covers_table_and_mask() {
+        let sys = System::new(100, 1);
+        // 4 columns x 1 stride each + 4 mask regions.
+        let stride = 100u64.div_ceil(32) * 256;
+        assert_eq!(sys.mask_base(), 4 * stride);
+        assert_eq!(sys.fresh_hmc().image_len() as u64, 4 * stride + 4 * 256);
+    }
+
+    #[test]
+    fn fresh_hmc_contains_table_values() {
+        let sys = System::new(64, 3);
+        let hmc = sys.fresh_hmc();
+        for i in [0usize, 17, 63] {
+            let addr = sys.layout().value_addr(Column::Quantity, i);
+            assert_eq!(
+                hmc.read_u64(addr) as i64,
+                sys.table().value(Column::Quantity, i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn zero_rows_panics() {
+        let _ = System::new(0, 0);
+    }
+}

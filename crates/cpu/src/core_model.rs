@@ -138,8 +138,7 @@ impl Core {
             MicroOpKind::VecAlu { size } => {
                 // Wide vector ops occupy an ALU pipe for one cycle per
                 // `vector_bytes_per_cycle` chunk.
-                let cycles =
-                    (size.bytes() + cfg.vector_bytes_per_cycle - 1) / cfg.vector_bytes_per_cycle;
+                let cycles = size.bytes().div_ceil(cfg.vector_bytes_per_cycle);
                 self.int_alu.serve(ready, cycles.max(cfg.int_alu_latency)).1
             }
             MicroOpKind::Load { addr, bytes } => {
@@ -238,7 +237,7 @@ mod tests {
         for _ in 0..60 {
             last = core.execute(alu(), &mut mem);
         }
-        assert!(last >= 60 / 3 && last <= 60 / 3 + 3, "last {last}");
+        assert!((60 / 3..=60 / 3 + 3).contains(&last), "last {last}");
     }
 
     #[test]
@@ -315,14 +314,12 @@ mod tests {
     }
 
     #[test]
-    fn vector_ops_occupy_pipes_by_width(){
+    fn vector_ops_occupy_pipes_by_width() {
         let mut core = Core::new(CoreConfig::paper());
         let mut mem = FlatMemory::new(10);
         // 256 B vector op = 4 pipe-cycles on a 64 B/cycle pipe.
         let one = core.execute(
-            MicroOp::new(MicroOpKind::VecAlu {
-                size: OpSize::MAX,
-            }),
+            MicroOp::new(MicroOpKind::VecAlu { size: OpSize::MAX }),
             &mut mem,
         );
         assert_eq!(one, 4);

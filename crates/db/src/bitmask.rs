@@ -23,7 +23,7 @@ impl Bitmask {
     /// Creates an all-zero mask over `len` tuples.
     pub fn zeros(len: usize) -> Self {
         Bitmask {
-            words: vec![0; (len + 63) / 64],
+            words: vec![0; len.div_ceil(64)],
             len,
         }
     }
@@ -31,7 +31,7 @@ impl Bitmask {
     /// Creates an all-one mask over `len` tuples.
     pub fn ones(len: usize) -> Self {
         let mut m = Bitmask {
-            words: vec![!0u64; (len + 63) / 64],
+            words: vec![!0u64; len.div_ceil(64)],
             len,
         };
         m.trim();

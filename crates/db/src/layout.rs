@@ -117,7 +117,7 @@ impl DsmLayout {
     /// Creates a layout with column arrays starting at `base`.
     pub fn new(base: u64, rows: usize) -> Self {
         let raw = rows as u64 * COLUMN_BYTES;
-        let stride = (raw + Self::ALIGN - 1) / Self::ALIGN * Self::ALIGN;
+        let stride = raw.div_ceil(Self::ALIGN) * Self::ALIGN;
         DsmLayout { base, rows, stride }
     }
 

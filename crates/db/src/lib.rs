@@ -39,9 +39,11 @@ mod bitmask;
 mod layout;
 mod lineitem;
 mod query;
+mod rng;
 pub mod scan;
 
 pub use bitmask::Bitmask;
 pub use layout::{DsmLayout, NsmLayout, COLUMN_BYTES, NSM_FIELDS, TUPLE_BYTES};
 pub use lineitem::{Column, LineitemTable, SF1_ROWS};
 pub use query::{CmpOp, ColumnPredicate, Query};
+pub use rng::SplitMix64;

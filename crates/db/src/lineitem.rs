@@ -1,7 +1,6 @@
 //! Synthetic TPC-H lineitem generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Rows of lineitem at TPC-H scale factor 1 (the paper's 1 GB setup).
 pub const SF1_ROWS: usize = 6_001_215;
@@ -92,19 +91,19 @@ pub struct LineitemTable {
 impl LineitemTable {
     /// Generates `rows` tuples deterministically from `seed`.
     pub fn generate(rows: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut shipdate = Vec::with_capacity(rows);
         let mut discount = Vec::with_capacity(rows);
         let mut quantity = Vec::with_capacity(rows);
         let mut extendedprice = Vec::with_capacity(rows);
         for _ in 0..rows {
-            shipdate.push(rng.gen_range(0..SHIPDATE_DAYS));
-            discount.push(rng.gen_range(0..=10));
-            let q: i64 = rng.gen_range(1..=50);
+            shipdate.push(rng.range_i64(0, SHIPDATE_DAYS - 1));
+            discount.push(rng.range_i64(0, 10));
+            let q = rng.range_i64(1, 50);
             quantity.push(q);
             // dbgen: extendedprice = quantity * part retail price;
             // retail prices are ~90k..111k cents.
-            let part_price: i64 = rng.gen_range(90_000..=111_000);
+            let part_price = rng.range_i64(90_000, 111_000);
             extendedprice.push(q * part_price);
         }
         LineitemTable {
@@ -177,9 +176,18 @@ mod tests {
     #[test]
     fn value_ranges_match_dbgen() {
         let t = LineitemTable::generate(10_000, 3);
-        assert!(t.column(Column::Shipdate).iter().all(|&v| (0..SHIPDATE_DAYS).contains(&v)));
-        assert!(t.column(Column::Discount).iter().all(|&v| (0..=10).contains(&v)));
-        assert!(t.column(Column::Quantity).iter().all(|&v| (1..=50).contains(&v)));
+        assert!(t
+            .column(Column::Shipdate)
+            .iter()
+            .all(|&v| (0..SHIPDATE_DAYS).contains(&v)));
+        assert!(t
+            .column(Column::Discount)
+            .iter()
+            .all(|&v| (0..=10).contains(&v)));
+        assert!(t
+            .column(Column::Quantity)
+            .iter()
+            .all(|&v| (1..=50).contains(&v)));
         assert!(t.column(Column::ExtendedPrice).iter().all(|&v| v > 0));
     }
 

@@ -75,7 +75,10 @@ impl Query {
     ///
     /// Panics if `predicates` is empty.
     pub fn new(predicates: Vec<ColumnPredicate>, aggregate: bool) -> Self {
-        assert!(!predicates.is_empty(), "a select scan needs at least one predicate");
+        assert!(
+            !predicates.is_empty(),
+            "a select scan needs at least one predicate"
+        );
         Query {
             predicates,
             aggregate,

@@ -1,0 +1,137 @@
+//! Minimal deterministic PRNG for synthetic data generation.
+//!
+//! The build environment is offline, so the external `rand` crate is not
+//! available; this SplitMix64 generator replaces it. SplitMix64 passes
+//! BigCrush, is seedable from a single `u64`, and — most importantly for
+//! this workspace — its output stream is stable across platforms and
+//! releases, so generated tables (and therefore every simulated cycle
+//! count) are reproducible byte for byte.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use hipe_db::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let v = a.range_i64(1, 50);
+/// assert!((1..=50).contains(&v));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` via the widening-multiply reduction
+    /// (bias is < 2^-64 per draw — irrelevant at these sample sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (both inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "inverted range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Full i64 domain: every 64-bit pattern is a valid draw.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span as u64) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut r = SplitMix64::new(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.range_i64(-3, 3) {
+                -3 => lo_seen = true,
+                3 => hi_seen = true,
+                v => assert!((-3..=3).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = SplitMix64::new(3);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.below(10) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((9_000..11_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn full_domain_range_does_not_panic() {
+        let mut r = SplitMix64::new(4);
+        let mut neg_seen = false;
+        let mut pos_seen = false;
+        for _ in 0..64 {
+            let v = r.range_i64(i64::MIN, i64::MAX);
+            neg_seen |= v < 0;
+            pos_seen |= v >= 0;
+        }
+        assert!(neg_seen && pos_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

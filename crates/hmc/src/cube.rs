@@ -164,6 +164,27 @@ impl Hmc {
         Response { complete: at_host }
     }
 
+    /// Transfers a host-to-cube packet of `bytes` over the request link
+    /// without touching DRAM; returns the cycle it arrives at the cube.
+    ///
+    /// Used for logic-layer instruction dispatch: the packet terminates
+    /// at the logic-layer engine, so no bank is involved.
+    pub fn link_request(&mut self, cycle: Cycle, bytes: u64) -> Cycle {
+        self.stats.link_bytes += bytes;
+        self.energy.add_link(&self.energy_model, bytes);
+        self.req_link.transfer(cycle, bytes)
+    }
+
+    /// Transfers a cube-to-host packet of `bytes` over the response link
+    /// without touching DRAM; returns the cycle it arrives at the host.
+    ///
+    /// Used for the logic-layer engine's unlock acknowledgement.
+    pub fn link_response(&mut self, cycle: Cycle, bytes: u64) -> Cycle {
+        self.stats.link_bytes += bytes;
+        self.energy.add_link(&self.energy_model, bytes);
+        self.rsp_link.transfer(cycle, bytes)
+    }
+
     /// Performs a logic-layer access (HIVE/HIPE engine): touches the
     /// banks directly, bypassing the links.
     pub fn internal_read(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {

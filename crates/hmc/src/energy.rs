@@ -32,12 +32,12 @@ impl EnergyModel {
     /// Literature-derived default constants.
     pub fn paper() -> Self {
         EnergyModel {
-            activate_pj: 900.0,          // one ACT+PRE pair, 256 B row
-            read_pj_per_byte: 4.0,       // DRAM core column read
-            write_pj_per_byte: 4.4,      // DRAM core column write
-            link_pj_per_byte: 12.0,      // SerDes dominates HMC energy
-            logic_op_pj: 60.0,           // 256 B wide ALU op at 1 GHz
-            cache_access_pj: 50.0,       // SRAM lookup, line granularity
+            activate_pj: 900.0,           // one ACT+PRE pair, 256 B row
+            read_pj_per_byte: 4.0,        // DRAM core column read
+            write_pj_per_byte: 4.4,       // DRAM core column write
+            link_pj_per_byte: 12.0,       // SerDes dominates HMC energy
+            logic_op_pj: 60.0,            // 256 B wide ALU op at 1 GHz
+            cache_access_pj: 50.0,        // SRAM lookup, line granularity
             background_pj_per_cycle: 1.5, // cube standby+refresh at 2 GHz
         }
     }

@@ -55,16 +55,16 @@ impl Vault {
     }
 
     fn to_cpu(&self, dram_cycles: Cycle) -> Cycle {
-        (dram_cycles * self.dram_cpu_num + self.dram_cpu_den - 1) / self.dram_cpu_den
+        (dram_cycles * self.dram_cpu_num).div_ceil(self.dram_cpu_den)
     }
 
     /// Visible latency of a closed-page access of `bytes` (capped at
     /// the row buffer), in CPU cycles.
     fn visible_latency(&self, bytes: u64, write: bool) -> Cycle {
-        let bursts = (bytes.min(self.cfg_row) + self.cfg_burst - 1) / self.cfg_burst;
+        let bursts = bytes.min(self.cfg_row).div_ceil(self.cfg_burst);
         let col = if write { self.cwd } else { self.cas };
         // 2:1 core-to-bus ratio: two bursts per DRAM core cycle.
-        self.to_cpu(self.rcd + col + (bursts + 1) / 2)
+        self.to_cpu(self.rcd + col + bursts.div_ceil(2))
     }
 
     /// Performs one bank access arriving at `cycle`; returns the cycle

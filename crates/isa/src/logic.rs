@@ -125,7 +125,10 @@ impl AluOp {
 
     /// Returns `true` if the operation reads a second register operand.
     pub fn needs_b(self) -> bool {
-        matches!(self, AluOp::And | AluOp::Or | AluOp::Add | AluOp::Sub | AluOp::Mul)
+        matches!(
+            self,
+            AluOp::And | AluOp::Or | AluOp::Add | AluOp::Sub | AluOp::Mul
+        )
     }
 }
 

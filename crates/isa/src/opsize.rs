@@ -27,13 +27,7 @@ pub struct OpSize(u64);
 
 impl OpSize {
     /// The five sizes evaluated in the paper, ascending.
-    pub const ALL: [OpSize; 5] = [
-        OpSize(16),
-        OpSize(32),
-        OpSize(64),
-        OpSize(128),
-        OpSize(256),
-    ];
+    pub const ALL: [OpSize; 5] = [OpSize(16), OpSize(32), OpSize(64), OpSize(128), OpSize(256)];
 
     /// The largest (and usually best) size: one full row buffer.
     pub const MAX: OpSize = OpSize(256);

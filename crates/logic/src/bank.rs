@@ -66,7 +66,11 @@ impl RegisterBank {
 
     fn check(&self, r: RegId) -> usize {
         let i = r.index();
-        assert!(i < self.lanes.len(), "register {r} outside bank of {}", self.lanes.len());
+        assert!(
+            i < self.lanes.len(),
+            "register {r} outside bank of {}",
+            self.lanes.len()
+        );
         i
     }
 

@@ -3,7 +3,7 @@
 use crate::bank::{RegisterBank, LANES};
 use crate::config::LogicConfig;
 use hipe_hmc::Hmc;
-use hipe_isa::{AluOp, LogicInstr, OpSize, PredWhen, Predicate, RegId};
+use hipe_isa::{AluOp, LogicInstr, OpSize, PredWhen, Predicate};
 use hipe_sim::Cycle;
 
 /// Activity counters of the engine.
@@ -108,8 +108,10 @@ impl Engine {
                 "predicated instruction on a non-predicated (HIVE) engine"
             );
             // The predicate register must be ready before the decision.
+            // Like any operand wait, the decision happens at the
+            // interlocked bank and does not block the sequencer from
+            // issuing younger instructions.
             let decide = issue.max(self.bank.ready(p.reg));
-            self.seq = self.seq.max(decide);
             if !self.predicate_passes(p) {
                 self.stats.squashed += 1;
                 self.block_horizon = self.block_horizon.max(decide);
@@ -179,7 +181,12 @@ impl Engine {
                     self.cfg.int_alu_latency
                 };
                 let end = start + latency;
-                let value = eval_alu(op, self.bank.lanes(a), b.map(|rb| *self.bank.lanes(rb)), size);
+                let value = eval_alu(
+                    op,
+                    self.bank.lanes(a),
+                    b.map(|rb| *self.bank.lanes(rb)),
+                    size,
+                );
                 self.bank.write(dst, value, end);
                 end
             }
@@ -243,7 +250,7 @@ fn eval_alu(op: AluOp, a: &[i64; LANES], b: Option<[i64; LANES]>, size: OpSize) 
         }
         AluOp::TupleMatch { fields, stride } => {
             let stride = stride as usize;
-            debug_assert!(stride > 0 && n % stride == 0);
+            debug_assert!(stride > 0 && n.is_multiple_of(stride));
             let tuples = n / stride;
             for t in 0..tuples {
                 let pass = fields.iter().flatten().all(|f| {
@@ -267,6 +274,7 @@ fn lanewise(out: &mut [i64; LANES], a: &[i64; LANES], n: usize, f: impl Fn(i64) 
 mod tests {
     use super::*;
     use hipe_hmc::HmcConfig;
+    use hipe_isa::RegId;
 
     const SIZE: OpSize = OpSize::MAX;
 
@@ -329,7 +337,7 @@ mod tests {
     fn functional_compare_and_mask() {
         let (mut hmc, mut eng) = setup(false);
         for i in 0..32u64 {
-            hmc.write_u64(i * 8, i as u64);
+            hmc.write_u64(i * 8, i);
         }
         eng.execute(&mut hmc, load(0, 0), 0);
         eng.execute(
@@ -369,7 +377,7 @@ mod tests {
             0,
         );
         for lane in 0..32 {
-            let expect = (lane >= 5 && lane < 10) as i64;
+            let expect = (5..10).contains(&lane) as i64;
             assert_eq!(eng.bank().lane(r(3), lane), expect, "lane {lane}");
         }
     }

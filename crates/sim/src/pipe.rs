@@ -84,7 +84,7 @@ impl ThroughputPipe {
 }
 
 fn div_ceil(a: u64, b: u64) -> u64 {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 #[cfg(test)]

@@ -155,7 +155,11 @@ impl Histogram {
 
     /// Observes one latency sample.
     pub fn observe(&mut self, v: Cycle) {
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.stats.push(v);
     }

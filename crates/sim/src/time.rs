@@ -46,7 +46,7 @@ impl Freq {
 
 impl std::fmt::Display for Freq {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.0 % 1000 == 0 {
+        if self.0.is_multiple_of(1000) {
             write!(f, "{} GHz", self.0 / 1000)
         } else {
             write!(f, "{} MHz", self.0)
@@ -102,7 +102,7 @@ impl ClockDomain {
 }
 
 fn div_ceil(a: u64, b: u64) -> u64 {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 /// Converts a cycle count at the given CPU frequency into nanoseconds.

@@ -1,7 +1,18 @@
 //! Root crate of the HIPE reproduction workspace.
 //!
-//! This crate exists to host the runnable [examples](../examples) and the
-//! cross-crate integration tests in `tests/`. The library surface simply
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` (and future runnable examples). The library surface simply
 //! re-exports the top-level [`hipe`] crate for convenience.
+//!
+//! # Example
+//!
+//! ```
+//! use hipe_workspace::{Arch, System};
+//! use hipe_db::Query;
+//!
+//! let sys = System::new(1024, 1);
+//! let report = sys.run(Arch::Hipe, &Query::q6());
+//! assert_eq!(report.result.bitmask.len(), 1024);
+//! ```
 
 pub use hipe::*;
