@@ -1,26 +1,46 @@
-//! Paper-figure sweep: baseline vs HIPE over scan selectivities.
+//! Paper-figure sweep: all four machines over scan selectivities.
 //!
 //! Reproduces the shape of the paper's evaluation on the select-scan
 //! workload: for each selectivity point the same query runs end to end
-//! on the x86 baseline and on HIPE, and the table reports simulated
-//! cycles, speedup and DRAM/link energy ratios, plus the simulator's
-//! own wall time per run (the quantity the `components` benchmarks
-//! bound from below).
+//! on the x86 baseline, the stock HMC atomic ISA, HIVE and HIPE —
+//! all against **one** warm `hipe::Session` (a single table
+//! materialization) — and the table reports simulated cycles, HIPE's
+//! speedup and DRAM/link energy ratios, plus the simulator's own wall
+//! time per point (the quantity the `components` benchmarks bound from
+//! below).
+//!
+//! Besides the human-readable table, the sweep is written to
+//! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
+//! the performance trajectory of the simulator is machine-checkable
+//! across PRs.
 //!
 //! Run with `cargo bench -p hipe-bench --bench figures`; scale the
 //! table with `HIPE_BENCH_ROWS`.
 
-use hipe::{Arch, System};
+use hipe::{Arch, RunReport, System};
 use hipe_db::Query;
+use std::fmt::Write as _;
 use std::time::Instant;
+
+const SEED: u64 = 2018;
 
 fn main() {
     let rows = hipe_bench::bench_rows();
-    let sys = System::new(rows, 2018);
-    println!("# baseline-vs-HIPE select scan sweep, {rows} rows");
+    let sys = System::new(rows, SEED);
+    let mut session = sys.session();
+    println!("# four-machine select scan sweep, {rows} rows, one warm session");
     println!(
-        "{:<12} {:>6} {:>12} {:>12} {:>8} {:>8} {:>8} {:>12}",
-        "query", "sel%", "x86_cycles", "hipe_cycles", "speedup", "dramE", "linkE", "sim_wall_ms"
+        "{:<12} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>12}",
+        "query",
+        "sel%",
+        "x86_cyc",
+        "hmcisa_cyc",
+        "hive_cyc",
+        "hipe_cyc",
+        "speedup",
+        "dramE",
+        "linkE",
+        "sim_wall_ms"
     );
 
     // Quantity is uniform in 1..=50, so achievable selectivities move
@@ -36,25 +56,96 @@ fn main() {
         .collect();
     points.push(("q6".to_string(), Query::q6()));
 
-    for (name, query) in points {
+    let mut json_points = Vec::with_capacity(points.len());
+    for (name, query) in &points {
         let start = Instant::now();
-        let base = sys.run(Arch::HostX86, &query);
-        let hipe = sys.run(Arch::Hipe, &query);
+        let reports: Vec<RunReport> = Arch::ALL
+            .iter()
+            .map(|&arch| session.run(arch, query))
+            .collect();
         let wall = start.elapsed();
-        assert_eq!(
-            base.result.bitmask, hipe.result.bitmask,
-            "architectures diverged on {name}"
-        );
+        let [base, hmc, hive, hipe] = &reports[..] else {
+            unreachable!("one report per architecture");
+        };
+        for r in &reports {
+            assert_eq!(
+                r.result.bitmask, base.result.bitmask,
+                "architectures diverged on {name}"
+            );
+        }
         println!(
-            "{:<12} {:>6.2} {:>12} {:>12} {:>7.2}x {:>8.2} {:>8.2} {:>12.1}",
+            "{:<12} {:>6.2} {:>12} {:>12} {:>12} {:>12} {:>7.2}x {:>8.2} {:>8.2} {:>12.1}",
             name,
             100.0 * hipe.selectivity(),
             base.cycles,
+            hmc.cycles,
+            hive.cycles,
             hipe.cycles,
-            hipe.speedup_over(&base),
+            hipe.speedup_over(base),
             hipe.energy.dram_pj() / base.energy.dram_pj(),
             hipe.energy.link_pj() / base.energy.link_pj(),
             wall.as_secs_f64() * 1e3,
         );
+        json_points.push(json_point(name, query, &reports, wall.as_secs_f64() * 1e3));
     }
+    assert_eq!(sys.materializations(), 1, "the sweep re-materialized");
+
+    // Default next to the workspace root regardless of the bench CWD.
+    let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json").into()
+    });
+    let json = render_json(rows, &json_points);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}
+
+/// Renders one sweep point as a JSON object (the build is offline, so
+/// the JSON is assembled by hand — every string interpolated below is
+/// ASCII without quotes or escapes).
+fn json_point(name: &str, query: &Query, reports: &[RunReport], wall_ms: f64) -> String {
+    let mut out = String::new();
+    let sel = reports[0].selectivity();
+    write!(
+        out,
+        "    {{\n      \"name\": \"{name}\",\n      \"query\": \"{query}\",\n      \
+         \"selectivity\": {sel:.6},\n      \"sim_wall_ms\": {wall_ms:.3},\n      \"archs\": {{"
+    )
+    .expect("writing to a String cannot fail");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        // Phase keys are self-describing: `*_end` values are absolute
+        // completion cycles, `*_cycles` are durations, and
+        // cycles == scan_end + gather_cycles.
+        write!(
+            out,
+            "\n        \"{}\": {{\"cycles\": {}, \"dispatch_end\": {}, \"scan_end\": {}, \
+             \"gather_cycles\": {}, \"dram_pj\": {:.1}, \"link_pj\": {:.1}, \
+             \"logic_pj\": {:.1}, \"total_pj\": {:.1}}}{sep}",
+            r.arch,
+            r.cycles,
+            r.phases.dispatch,
+            r.phases.scan,
+            r.phases.gather_aggregate,
+            r.energy.dram_pj(),
+            r.energy.link_pj(),
+            r.energy.logic_pj(),
+            r.energy.total_pj(),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("\n      }\n    }");
+    out
+}
+
+/// Assembles the sweep document.
+fn render_json(rows: usize, points: &[String]) -> String {
+    let archs: Vec<String> = Arch::ALL.iter().map(|a| format!("\"{a}\"")).collect();
+    format!(
+        "{{\n  \"bench\": \"figures\",\n  \"rows\": {rows},\n  \"seed\": {SEED},\n  \
+         \"archs\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+        archs.join(", "),
+        points.join(",\n")
+    )
 }

@@ -6,8 +6,9 @@
 //! of [`hipe_db::CmpOp`] column predicates over a DSM table) to the two
 //! instruction sets the system simulates:
 //!
-//! * [`lower_logic_scan`] — the HIVE/HIPE path: a [`LogicInstr`]
-//!   program executed by the logic-layer engine inside the cube. The
+//! * [`lower_logic_scan`] — the HIVE/HIPE path: a
+//!   [`hipe_isa::LogicInstr`] program executed by the logic-layer
+//!   engine inside the cube. The
 //!   scan is tiled into 256 B *regions* (32 rows, one row buffer); for
 //!   each region the program loads a column chunk, compares it, ANDs
 //!   the result into a running match mask and finally stores the mask.
@@ -15,22 +16,30 @@
 //!   of a region is predicated on the running mask being non-zero, so
 //!   regions with no surviving candidate are squashed in a sequencer
 //!   slot each instead of touching DRAM.
-//! * [`lower_host_scan`] — the x86 baseline path: a [`MicroOp`] stream
-//!   modelling a vectorized column-at-a-time scan through the cache
+//! * [`lower_host_scan`] — the x86 baseline path: a
+//!   [`hipe_isa::MicroOp`] stream modelling a vectorized
+//!   column-at-a-time scan through the cache
 //!   hierarchy (64 B vector compares, packed bitmask load/AND/store,
 //!   loop overhead and a well-predicted loop branch).
+//! * [`lower_hmc_scan`] — the stock HMC atomic-ISA path: per-region
+//!   [`hipe_isa::VaultOp::LoadCmp`] dispatches executed by the vault
+//!   functional units (16 B operands on the stock machine,
+//!   [`STOCK_HMC_OP`]), with the mask combine/pack/store work kept on
+//!   the host.
 //!
 //! The lowering is *timing-oriented*: the emitted streams drive the
 //! cycle models, while functional results are computed by the engines
 //! (logic path) or the reference evaluation over the memory image
-//! (host path) in the top-level `hipe` crate.
+//! (host paths) in the top-level `hipe` crate.
 //!
 //! Entry points not needed yet by the driver (NSM tuple-at-a-time
 //! lowering, fused aggregate lowering for `SUM(price * discount)`) are
 //! future work tracked in the ROADMAP.
 
+mod hmc;
 mod host;
 mod logic;
 
+pub use hmc::{lower_hmc_scan, STOCK_HMC_OP};
 pub use host::lower_host_scan;
 pub use logic::{lower_logic_scan, LogicScanProgram, REGION_ROWS};

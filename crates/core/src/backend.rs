@@ -1,0 +1,283 @@
+//! The open backend abstraction: compile once, execute many times.
+
+use crate::report::{Arch, RunReport};
+use crate::session::Session;
+use crate::system::System;
+use crate::{host, neardata};
+use hipe_compiler::{LogicScanProgram, STOCK_HMC_OP};
+use hipe_db::Query;
+use hipe_isa::{MicroOp, OpSize};
+
+/// One architecture's compile/execute implementation.
+///
+/// A backend is stateless: [`compile`](Self::compile) lowers a query
+/// against a [`System`]'s layout into an [`ExecutablePlan`], and
+/// [`execute`](Self::execute) runs a plan inside a [`Session`] (which
+/// owns the warm cube image). The split means a plan is lowered once
+/// per query and reused across a whole batch, and adding a machine to
+/// the comparison is one new `Backend` implementation — the driver,
+/// benches and tests iterate [`Arch::ALL`] unchanged.
+///
+/// `execute` expects the session in its reset state;
+/// [`Session::run_plan`] handles that and is the normal entry point.
+///
+/// # Example
+///
+/// ```
+/// use hipe::{Arch, System};
+/// use hipe_db::Query;
+///
+/// let sys = System::new(1024, 3);
+/// let backend = System::backend(Arch::Hipe);
+/// let plan = backend.compile(&sys, &Query::q6());
+/// let mut session = sys.session();
+/// let report = session.run_plan(&plan);
+/// assert_eq!(report.arch, Arch::Hipe);
+/// ```
+pub trait Backend {
+    /// The architecture label this backend implements.
+    fn arch(&self) -> Arch;
+
+    /// Lowers `query` into this architecture's executable form.
+    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan;
+
+    /// Executes a compiled plan against the session's warm image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was compiled by a different architecture's
+    /// backend.
+    fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport;
+}
+
+/// The architecture-specific payload of a plan.
+#[derive(Debug, Clone)]
+pub(crate) enum PlanCode {
+    /// A micro-op stream executed by the out-of-order core (x86
+    /// baseline and HMC-ISA machines).
+    Micro(Vec<MicroOp>),
+    /// A logic-layer program posted to the in-cube engine (HIVE/HIPE).
+    Logic {
+        program: LogicScanProgram,
+        predicated: bool,
+    },
+}
+
+/// A query lowered for one architecture, ready to execute.
+///
+/// Produced by [`Backend::compile`]; executed — any number of times —
+/// via [`Session::run_plan`]. The plan captures everything derived
+/// from the query and the system's address layout, so executing it does
+/// not re-lower anything.
+#[derive(Debug, Clone)]
+pub struct ExecutablePlan {
+    arch: Arch,
+    query: Query,
+    rows: usize,
+    code: PlanCode,
+}
+
+impl ExecutablePlan {
+    /// The architecture the plan was compiled for.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// The query the plan computes.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Table rows the plan was compiled against (plans are layout
+    /// specific; [`Session::run_plan`] checks this).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of lowered instructions in the plan (micro-ops or
+    /// logic-layer instructions).
+    pub fn instructions(&self) -> usize {
+        match &self.code {
+            PlanCode::Micro(ops) => ops.len(),
+            PlanCode::Logic { program, .. } => program.instrs().len(),
+        }
+    }
+
+    pub(crate) fn code(&self) -> &PlanCode {
+        &self.code
+    }
+
+    fn check_arch(&self, expect: Arch) {
+        assert_eq!(
+            self.arch, expect,
+            "plan compiled for {} executed on the {} backend",
+            self.arch, expect
+        );
+    }
+}
+
+/// The x86/AVX baseline: vectorized column-at-a-time scan through the
+/// cache hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostX86Backend;
+
+impl Backend for HostX86Backend {
+    fn arch(&self) -> Arch {
+        Arch::HostX86
+    }
+
+    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
+        ExecutablePlan {
+            arch: Arch::HostX86,
+            query: query.clone(),
+            rows: sys.config().rows,
+            code: PlanCode::Micro(hipe_compiler::lower_host_scan(
+                query,
+                sys.layout(),
+                sys.mask_base(),
+            )),
+        }
+    }
+
+    fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
+        plan.check_arch(Arch::HostX86);
+        host::execute(session, plan)
+    }
+}
+
+/// The stock HMC atomic-ISA machine: per-vault read-operate dispatches
+/// with host-side mask combining.
+#[derive(Debug, Clone, Copy)]
+pub struct HmcIsaBackend {
+    /// Operand size of one vault operation. The stock machine uses
+    /// [`STOCK_HMC_OP`] (16 B); larger sizes model the paper's
+    /// operand-size extension sweep.
+    pub op_size: OpSize,
+}
+
+impl Default for HmcIsaBackend {
+    fn default() -> Self {
+        HmcIsaBackend {
+            op_size: STOCK_HMC_OP,
+        }
+    }
+}
+
+impl Backend for HmcIsaBackend {
+    fn arch(&self) -> Arch {
+        Arch::HmcIsa
+    }
+
+    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
+        ExecutablePlan {
+            arch: Arch::HmcIsa,
+            query: query.clone(),
+            rows: sys.config().rows,
+            code: PlanCode::Micro(hipe_compiler::lower_hmc_scan(
+                query,
+                sys.layout(),
+                sys.mask_base(),
+                self.op_size,
+            )),
+        }
+    }
+
+    fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
+        plan.check_arch(Arch::HmcIsa);
+        host::execute(session, plan)
+    }
+}
+
+/// HIVE: unpredicated logic-layer execution inside the cube.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HiveBackend;
+
+/// HIPE: HIVE plus the predication match logic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HipeBackend;
+
+fn compile_logic(sys: &System, query: &Query, arch: Arch, predicated: bool) -> ExecutablePlan {
+    ExecutablePlan {
+        arch,
+        query: query.clone(),
+        rows: sys.config().rows,
+        code: PlanCode::Logic {
+            program: hipe_compiler::lower_logic_scan(
+                query,
+                sys.layout(),
+                sys.mask_base(),
+                predicated,
+            ),
+            predicated,
+        },
+    }
+}
+
+impl Backend for HiveBackend {
+    fn arch(&self) -> Arch {
+        Arch::Hive
+    }
+
+    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
+        compile_logic(sys, query, Arch::Hive, false)
+    }
+
+    fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
+        plan.check_arch(Arch::Hive);
+        neardata::execute(session, plan)
+    }
+}
+
+impl Backend for HipeBackend {
+    fn arch(&self) -> Arch {
+        Arch::Hipe
+    }
+
+    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
+        compile_logic(sys, query, Arch::Hipe, true)
+    }
+
+    fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
+        plan.check_arch(Arch::Hipe);
+        neardata::execute(session, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_report_their_arch() {
+        for arch in Arch::ALL {
+            assert_eq!(System::backend(arch).arch(), arch);
+        }
+    }
+
+    #[test]
+    fn compile_captures_query_rows_and_code() {
+        let sys = System::new(128, 1);
+        let q = Query::q6();
+        for arch in Arch::ALL {
+            let plan = System::backend(arch).compile(&sys, &q);
+            assert_eq!(plan.arch(), arch);
+            assert_eq!(plan.query(), &q);
+            assert_eq!(plan.rows(), 128);
+            assert!(plan.instructions() > 0);
+        }
+    }
+
+    #[test]
+    fn stock_hmc_backend_uses_16_byte_ops() {
+        assert_eq!(HmcIsaBackend::default().op_size, STOCK_HMC_OP);
+    }
+
+    #[test]
+    #[should_panic(expected = "executed on the")]
+    fn executing_a_foreign_plan_panics() {
+        let sys = System::new(64, 2);
+        let plan = System::backend(Arch::Hive).compile(&sys, &Query::q6());
+        let mut session = sys.session();
+        let _ = System::backend(Arch::Hipe).execute(&mut session, &plan);
+    }
+}

@@ -1,0 +1,90 @@
+//! Timed host-side gather of matched values for aggregate queries.
+//!
+//! On every evaluated machine the `SUM(l_extendedprice * l_discount)`
+//! aggregate itself runs on the host: after the scan, the matching
+//! tuples' price and discount values are fetched, multiplied and
+//! accumulated. This module emits that micro-op stream so the gather
+//! phase is cycle-accounted like everything else — through the cache
+//! hierarchy on the host-only machines, over the serial links
+//! (uncached) on the near-data ones.
+
+use crate::system::System;
+use hipe_cpu::{Core, MemoryPort};
+use hipe_db::{Bitmask, Column};
+use hipe_hmc::{AccessKind, Hmc};
+use hipe_isa::{MicroOp, MicroOpKind, OpSize, VaultOp};
+use hipe_sim::Cycle;
+
+/// Emits the gather/multiply/accumulate stream for every set bit of
+/// `mask` onto `core`, routing the value loads through `port`.
+pub(crate) fn emit<P: MemoryPort>(core: &mut Core, port: &mut P, sys: &System, mask: &Bitmask) {
+    for i in mask.iter_ones() {
+        let price = sys.layout().value_addr(Column::ExtendedPrice, i);
+        let discount = sys.layout().value_addr(Column::Discount, i);
+        core.execute(
+            MicroOp::new(MicroOpKind::Load {
+                addr: price,
+                bytes: 8,
+            }),
+            port,
+        );
+        core.execute(
+            MicroOp::new(MicroOpKind::Load {
+                addr: discount,
+                bytes: 8,
+            }),
+            port,
+        );
+        // price * discount, then the serial accumulate (the previous
+        // tuple's accumulate is four ops back in the dynamic stream).
+        core.execute(MicroOp::new(MicroOpKind::IntMul).with_deps(1, 2), port);
+        core.execute(MicroOp::new(MicroOpKind::IntAlu).with_deps(1, 4), port);
+    }
+}
+
+/// Memory port of the near-data machines' gather phase: demand
+/// reads/writes cross the serial links uncached (the scan itself ran
+/// inside the cube, so the host caches hold nothing useful).
+pub(crate) struct UncachedPort<'a> {
+    pub hmc: &'a mut Hmc,
+}
+
+impl MemoryPort for UncachedPort<'_> {
+    fn read(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
+        self.hmc
+            .access(cycle, addr, bytes, AccessKind::Read)
+            .complete
+    }
+
+    fn write(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
+        self.hmc
+            .access(cycle, addr, bytes, AccessKind::Write)
+            .complete
+    }
+
+    fn hmc_dispatch(
+        &mut self,
+        cycle: Cycle,
+        addr: u64,
+        size: OpSize,
+        _op: VaultOp,
+        result_bytes: u64,
+    ) -> Cycle {
+        self.hmc
+            .access(
+                cycle,
+                addr,
+                size.bytes(),
+                AccessKind::PimOp { result_bytes },
+            )
+            .complete
+    }
+
+    fn logic_dispatch(&mut self, _cycle: Cycle) -> Cycle {
+        unreachable!("the gather phase posts no logic-layer instructions")
+    }
+
+    fn logic_wait(&mut self, _cycle: Cycle) -> Cycle {
+        unreachable!("the gather phase posts no logic-layer instructions")
+    }
+}

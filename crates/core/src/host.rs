@@ -1,18 +1,25 @@
-//! The x86 baseline runner: micro-op stream through core + caches.
+//! The host-side executor: micro-op streams through core + caches.
+//!
+//! Executes the plans of both host-driven machines — the x86/AVX
+//! baseline and the stock HMC atomic ISA. Demand reads/writes go
+//! through the cache hierarchy; HMC-ISA dispatches cross the links and
+//! run in the vault functional units.
 
-use crate::report::{Arch, RunReport};
-use crate::system::System;
+use crate::backend::{ExecutablePlan, PlanCode};
+use crate::gather;
+use crate::report::{PhaseBreakdown, RunReport};
+use crate::session::Session;
 use hipe_cache::CacheHierarchy;
 use hipe_cpu::{Core, MemoryPort};
-use hipe_db::{Bitmask, Query};
+use hipe_db::Bitmask;
 use hipe_hmc::{AccessKind, Hmc};
-use hipe_isa::{OpSize, VaultOp};
+use hipe_isa::{MicroOpKind, OpSize, VaultOp};
 use hipe_sim::Cycle;
 
-/// Memory port of the host-only architectures: demand reads/writes go
+/// Memory port of the host-driven architectures: demand reads/writes go
 /// through the cache hierarchy, HMC-ISA dispatches go straight to the
-/// cube, and logic-layer hooks are unreachable (the host lowering
-/// never emits them).
+/// cube, and logic-layer hooks are unreachable (the host lowerings
+/// never emit them).
 struct CachedPort<'a> {
     hmc: &'a mut Hmc,
     caches: &'a mut CacheHierarchy,
@@ -46,51 +53,84 @@ impl MemoryPort for CachedPort<'_> {
     }
 
     fn logic_dispatch(&mut self, _cycle: Cycle) -> Cycle {
-        unreachable!("the host baseline has no logic-layer engine")
+        unreachable!("host-driven machines have no logic-layer engine")
     }
 
     fn logic_wait(&mut self, _cycle: Cycle) -> Cycle {
-        unreachable!("the host baseline has no logic-layer engine")
+        unreachable!("host-driven machines have no logic-layer engine")
     }
 }
 
-/// Executes `query` on the x86 baseline.
-pub(crate) fn run(sys: &System, query: &Query) -> RunReport {
-    let mut hmc = sys.fresh_hmc();
+/// Executes a compiled micro-op plan (x86 baseline or HMC-ISA) against
+/// the session's warm image.
+pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
+    let sys = session.system();
+    let PlanCode::Micro(ops) = plan.code() else {
+        unreachable!("the host executor requires a micro-op plan");
+    };
+    let query = plan.query();
     let mut caches = CacheHierarchy::new(sys.config().hierarchy);
     let mut core = Core::new(sys.config().core);
 
-    let ops = hipe_compiler::lower_host_scan(query, sys.layout(), sys.mask_base());
+    let mut dispatch_end = 0;
     {
         let mut port = CachedPort {
-            hmc: &mut hmc,
+            hmc: session.hmc_mut(),
             caches: &mut caches,
         };
         for op in ops {
-            core.execute(op, &mut port);
+            let end = core.execute(*op, &mut port);
+            if matches!(op.kind, MicroOpKind::HmcDispatch { .. }) {
+                dispatch_end = dispatch_end.max(end);
+            }
         }
     }
-    let cycles = core.finish();
+    let scan_end = core.finish();
 
-    // Functional outcome of the vector kernel: evaluate the predicates
+    // Functional outcome of the scan kernel: evaluate the predicates
     // over the column values resident in the cube image and write the
     // packed mask words the store stream modelled.
     let rows = sys.layout().rows();
+    let hmc = session.hmc_mut();
     let bitmask: Bitmask = (0..rows)
         .map(|i| query.matches_with(|c| hmc.read_u64(sys.layout().value_addr(c, i)) as i64))
         .collect();
-    for (w, word) in pack_words(&bitmask).into_iter().enumerate() {
-        hmc.write_u64(sys.mask_base() + w as u64 * 8, word);
+    for (w, word) in bitmask.words().iter().enumerate() {
+        hmc.write_u64(sys.mask_base() + w as u64 * 8, *word);
     }
-    let result = sys.finish_result(&hmc, query, bitmask);
 
+    // Host-side aggregate gather, through the caches like any other
+    // demand traffic.
+    if query.aggregates() {
+        let mut port = CachedPort {
+            hmc: session.hmc_mut(),
+            caches: &mut caches,
+        };
+        gather::emit(&mut core, &mut port, sys, &bitmask);
+    }
+    let cycles = core.finish();
+
+    let hmc = session.hmc_mut();
+    let result = sys.finish_result(hmc, query, bitmask);
     hmc.charge_cache_accesses(caches.stats().total_lookups());
     hmc.finish(cycles);
 
     RunReport {
-        arch: Arch::HostX86,
+        arch: plan.arch(),
         result,
         cycles,
+        phases: PhaseBreakdown {
+            // The x86 baseline executes the scan in place (no separate
+            // dispatch phase); the HMC ISA's phase ends with the last
+            // vault dispatch response.
+            dispatch: if dispatch_end > 0 {
+                dispatch_end
+            } else {
+                scan_end
+            },
+            scan: scan_end,
+            gather_aggregate: cycles - scan_end,
+        },
         energy: hmc.energy(),
         core: core.stats(),
         cache: Some(caches.stats()),
@@ -99,35 +139,43 @@ pub(crate) fn run(sys: &System, query: &Query) -> RunReport {
     }
 }
 
-/// Packs a bitmask into little-endian `u64` words (1 bit per row).
-fn pack_words(mask: &Bitmask) -> Vec<u64> {
-    let mut words = vec![0u64; mask.len().div_ceil(64)];
-    for i in mask.iter_ones() {
-        words[i / 64] |= 1 << (i % 64);
-    }
-    words
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hipe_db::scan;
+    use crate::report::Arch;
+    use crate::system::System;
+    use hipe_db::{scan, Query};
+
+    fn run(sys: &System, arch: Arch, q: &Query) -> RunReport {
+        sys.session().run(arch, q)
+    }
 
     #[test]
     fn baseline_matches_reference_executor() {
         let sys = System::new(3000, 21);
         let q = Query::q6();
-        let report = run(&sys, &q);
+        let report = run(&sys, Arch::HostX86, &q);
         let reference = scan::reference(sys.table(), &q);
         assert_eq!(report.result, reference);
         assert!(report.cycles > 0);
     }
 
     #[test]
+    fn hmc_isa_matches_reference_executor() {
+        let sys = System::new(3000, 21);
+        let q = Query::q6();
+        let report = run(&sys, Arch::HmcIsa, &q);
+        assert_eq!(report.result, scan::reference(sys.table(), &q));
+        // Every dispatched vault op ran in a functional unit.
+        assert!(report.hmc.fu_ops > 0);
+        assert!(report.phases.dispatch <= report.phases.scan);
+    }
+
+    #[test]
     fn baseline_streams_through_caches_and_links() {
         let sys = System::new(4096, 5);
         let q = Query::quantity_below_permille(100);
-        let report = run(&sys, &q);
+        let report = run(&sys, Arch::HostX86, &q);
         let cache = report.cache.expect("host path has caches");
         assert!(cache.accesses > 0);
         assert!(report.hmc.link_bytes > 0);
@@ -136,19 +184,35 @@ mod tests {
     }
 
     #[test]
+    fn wider_hmc_ops_cut_link_traffic_and_cycles() {
+        // The paper's operand-size argument: the stock 16 B atomic ops
+        // pay a packet-header round trip per two rows, so the links see
+        // more traffic than even the streaming baseline; widening the
+        // operand to a full row buffer amortizes the headers away.
+        use crate::backend::{Backend, HmcIsaBackend};
+        use hipe_isa::OpSize;
+
+        let sys = System::new(4096, 5);
+        let q = Query::quantity_below_permille(100);
+        let stock = run(&sys, Arch::HmcIsa, &q);
+        let wide_backend = HmcIsaBackend {
+            op_size: OpSize::MAX,
+        };
+        let plan = wide_backend.compile(&sys, &q);
+        let mut session = sys.session();
+        session.reset();
+        let wide = wide_backend.execute(&mut session, &plan);
+        assert_eq!(stock.result, wide.result);
+        assert!(wide.hmc.link_bytes < stock.hmc.link_bytes / 4);
+        assert!(wide.cycles < stock.cycles);
+    }
+
+    #[test]
     fn packed_mask_lands_in_image() {
         let sys = System::new(128, 9);
         let q = Query::quantity_below_permille(500);
-        let report = run(&sys, &q);
-        let hmc = {
-            // Re-run functionally: the report's mask was written to a
-            // cube we dropped, so recompute on a fresh image.
-            let mut h = sys.fresh_hmc();
-            for (w, word) in pack_words(&report.result.bitmask).into_iter().enumerate() {
-                h.write_u64(sys.mask_base() + w as u64 * 8, word);
-            }
-            h
-        };
+        let mut session = sys.session();
+        let report = session.run(Arch::HostX86, &q);
         for w in 0..2 {
             let mut expect = 0u64;
             for b in 0..64 {
@@ -156,7 +220,21 @@ mod tests {
                     expect |= 1 << b;
                 }
             }
-            assert_eq!(hmc.read_u64(sys.mask_base() + w as u64 * 8), expect);
+            assert_eq!(
+                session.hmc().read_u64(sys.mask_base() + w as u64 * 8),
+                expect
+            );
         }
+    }
+
+    #[test]
+    fn aggregate_gather_is_timed() {
+        let sys = System::new(4096, 11);
+        let with = run(&sys, Arch::HostX86, &Query::q6());
+        assert!(with.phases.gather_aggregate > 0);
+        assert_eq!(with.cycles, with.phases.scan + with.phases.gather_aggregate);
+        let without = run(&sys, Arch::HostX86, &Query::quantity_below_permille(100));
+        assert_eq!(without.phases.gather_aggregate, 0);
+        assert_eq!(without.cycles, without.phases.scan);
     }
 }

@@ -3,18 +3,40 @@
 //! This crate (library name `hipe`) assembles the component models of
 //! the workspace into runnable *architectures* and drives the paper's
 //! headline experiment end to end: a select scan over a TPC-H-style
-//! `lineitem` table, compiled once per target and executed on
+//! `lineitem` table, compiled once per target and executed on the four
+//! machines of the paper's comparison:
 //!
 //! * **x86 baseline** ([`Arch::HostX86`]) — the query is lowered to a
 //!   vectorized micro-op stream ([`hipe_compiler::lower_host_scan`])
 //!   executed by the out-of-order core; all data crosses the HMC serial
 //!   links and the cache hierarchy;
+//! * **stock HMC ISA** ([`Arch::HmcIsa`]) — the core dispatches 16 B
+//!   read-operate instructions ([`hipe_compiler::lower_hmc_scan`]) that
+//!   execute in the vault functional units; only result flits return,
+//!   but every operation is a full link round trip and the mask
+//!   combining stays on the host;
 //! * **HIVE** ([`Arch::Hive`]) — the query is lowered to a logic-layer
 //!   program ([`hipe_compiler::lower_logic_scan`]) posted to the
 //!   in-cube engine; column data never leaves the cube;
 //! * **HIPE** ([`Arch::Hipe`]) — the same program with predication:
 //!   regions whose running mask is all-zero squash their remaining
 //!   instructions in one sequencer slot each.
+//!
+//! # Compile → session → execute
+//!
+//! Execution is split into three stages behind the open [`Backend`]
+//! abstraction:
+//!
+//! 1. [`System::backend`] resolves an [`Arch`] label to its stateless
+//!    [`Backend`];
+//! 2. [`Backend::compile`] lowers a query into an [`ExecutablePlan`]
+//!    (once per query, reusable);
+//! 3. a [`Session`] — opened with [`System::session`] — owns one warm,
+//!    materialized cube image and executes plans against it, applying
+//!    a reset protocol between runs so warm results are bit- and
+//!    cycle-identical to cold ones.
+//!
+//! [`System::run`] and [`System::compare`] remain as one-shot wrappers.
 //!
 //! Every run is *co-simulated*: timing comes from the cycle models,
 //! while the functional result is computed from the bytes actually
@@ -31,17 +53,29 @@
 //!
 //! let sys = System::new(4096, 42);
 //! let q = Query::quantity_below_permille(30); // ~3 % selectivity
-//! let base = sys.run(Arch::HostX86, &q);
-//! let hipe = sys.run(Arch::Hipe, &q);
-//! // Same answer, fewer cycles near-data.
+//! let mut session = sys.session(); // one materialization...
+//! let reports: Vec<_> = Arch::ALL
+//!     .iter()
+//!     .map(|&arch| session.run(arch, &q))
+//!     .collect(); // ...four machines
+//! assert_eq!(sys.materializations(), 1);
+//! // Same answer everywhere, fewer cycles near-data.
+//! let (base, hipe) = (&reports[0], &reports[3]);
 //! assert_eq!(base.result.bitmask, hipe.result.bitmask);
 //! assert!(hipe.cycles < base.cycles);
 //! ```
 
+mod backend;
+mod gather;
 mod host;
 mod neardata;
 mod report;
+mod session;
 mod system;
 
-pub use report::{Arch, RunReport};
+pub use backend::{
+    Backend, ExecutablePlan, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Backend,
+};
+pub use report::{Arch, PhaseBreakdown, RunReport};
+pub use session::Session;
 pub use system::{System, SystemConfig};

@@ -1,10 +1,12 @@
-//! The near-data runners: HIVE and HIPE logic-layer execution.
+//! The near-data executor: HIVE and HIPE logic-layer execution.
 
-use crate::report::{Arch, RunReport};
-use crate::system::System;
+use crate::backend::{ExecutablePlan, PlanCode};
+use crate::gather;
+use crate::report::{PhaseBreakdown, RunReport};
+use crate::session::Session;
 use hipe_compiler::{LogicScanProgram, REGION_ROWS};
 use hipe_cpu::{Core, MemoryPort};
-use hipe_db::{Bitmask, Query};
+use hipe_db::Bitmask;
 use hipe_hmc::Hmc;
 use hipe_isa::{LogicInstr, MicroOp, MicroOpKind, OpSize, VaultOp};
 use hipe_logic::Engine;
@@ -88,11 +90,19 @@ impl MemoryPort for LogicPort<'_> {
     }
 }
 
-/// Executes `query` on a logic-layer architecture (`predicated` picks
-/// HIPE over HIVE).
-pub(crate) fn run(sys: &System, query: &Query, predicated: bool) -> RunReport {
-    let mut hmc = sys.fresh_hmc();
-    let logic_cfg = if predicated {
+/// Executes a compiled logic-layer plan (HIVE or HIPE) against the
+/// session's warm image.
+pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
+    let sys = session.system();
+    let PlanCode::Logic {
+        program,
+        predicated,
+    } = plan.code()
+    else {
+        unreachable!("the near-data executor requires a logic-layer plan");
+    };
+    let query = plan.query();
+    let logic_cfg = if *predicated {
         sys.config().hipe
     } else {
         sys.config().hive
@@ -100,10 +110,10 @@ pub(crate) fn run(sys: &System, query: &Query, predicated: bool) -> RunReport {
     let mut engine = Engine::new(logic_cfg);
     let mut core = Core::new(sys.config().core);
 
-    let program = hipe_compiler::lower_logic_scan(query, sys.layout(), sys.mask_base(), predicated);
+    let mut dispatch_end = 0;
     {
         let mut port = LogicPort {
-            hmc: &mut hmc,
+            hmc: session.hmc_mut(),
             engine: &mut engine,
             next: program.instrs().iter(),
             instr_bytes: sys.config().hmc.packet_header_bytes + INSTR_FLIT_BYTES,
@@ -113,20 +123,38 @@ pub(crate) fn run(sys: &System, query: &Query, predicated: bool) -> RunReport {
         // The host posts one dispatch micro-op per instruction, then
         // blocks on the engine's unlock acknowledgement.
         for _ in 0..program.instrs().len() {
-            core.execute(MicroOp::new(MicroOpKind::LogicDispatch), &mut port);
+            let end = core.execute(MicroOp::new(MicroOpKind::LogicDispatch), &mut port);
+            dispatch_end = dispatch_end.max(end);
         }
         core.execute(MicroOp::new(MicroOpKind::LogicWait), &mut port);
     }
+    let scan_end = core.finish();
+
+    let bitmask = read_mask(session.hmc(), program, sys.layout().rows());
+
+    // Host-side aggregate gather: the matched values cross the serial
+    // links uncached.
+    if query.aggregates() {
+        let mut port = gather::UncachedPort {
+            hmc: session.hmc_mut(),
+        };
+        gather::emit(&mut core, &mut port, sys, &bitmask);
+    }
     let cycles = core.finish();
 
-    let bitmask = read_mask(&hmc, &program, sys.layout().rows());
-    let result = sys.finish_result(&hmc, query, bitmask);
+    let hmc = session.hmc_mut();
+    let result = sys.finish_result(hmc, query, bitmask);
     hmc.finish(cycles);
 
     RunReport {
-        arch: if predicated { Arch::Hipe } else { Arch::Hive },
+        arch: plan.arch(),
         result,
         cycles,
+        phases: PhaseBreakdown {
+            dispatch: dispatch_end,
+            scan: scan_end,
+            gather_aggregate: cycles - scan_end,
+        },
         energy: hmc.energy(),
         core: core.stats(),
         cache: None,
@@ -150,13 +178,20 @@ fn read_mask(hmc: &Hmc, program: &LogicScanProgram, rows: usize) -> Bitmask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hipe_db::scan;
+    use crate::report::Arch;
+    use crate::system::System;
+    use hipe_db::{scan, Query};
+
+    fn run(sys: &System, predicated: bool, q: &Query) -> RunReport {
+        let arch = if predicated { Arch::Hipe } else { Arch::Hive };
+        sys.session().run(arch, q)
+    }
 
     #[test]
     fn hive_matches_reference_executor() {
         let sys = System::new(2000, 31);
         let q = Query::q6();
-        let report = run(&sys, &q, false);
+        let report = run(&sys, false, &q);
         assert_eq!(report.result, scan::reference(sys.table(), &q));
         let engine = report.engine.expect("logic path has an engine");
         assert_eq!(engine.squashed, 0);
@@ -168,7 +203,7 @@ mod tests {
         let sys = System::new(5000, 32);
         // 1 % selectivity: most regions die after the first compare.
         let q = Query::quantity_below_permille(10);
-        let report = run(&sys, &q, true);
+        let report = run(&sys, true, &q);
         assert_eq!(report.result, scan::reference(sys.table(), &q));
         assert!(report.engine.expect("engine stats").squashed > 0);
     }
@@ -177,8 +212,8 @@ mod tests {
     fn hipe_no_faster_than_hive_is_never_true() {
         let sys = System::new(8192, 33);
         let q = Query::quantity_below_permille(10);
-        let hive = run(&sys, &q, false);
-        let hipe = run(&sys, &q, true);
+        let hive = run(&sys, false, &q);
+        let hipe = run(&sys, true, &q);
         assert_eq!(hive.result, hipe.result);
         assert!(hipe.cycles <= hive.cycles, "predication slowed the scan");
     }
@@ -187,9 +222,21 @@ mod tests {
     fn column_data_stays_off_the_links() {
         let sys = System::new(4096, 34);
         let q = Query::quantity_below_permille(100);
-        let report = run(&sys, &q, true);
+        let report = run(&sys, true, &q);
         // Only instruction packets and the ack cross the links: far less
         // than the 8 B/row the baseline must move.
         assert!(report.hmc.link_bytes < 4096 * 8 / 2);
+    }
+
+    #[test]
+    fn dispatch_phase_precedes_scan_completion() {
+        let sys = System::new(4096, 35);
+        let report = run(&sys, true, &Query::q6());
+        assert!(report.phases.dispatch > 0);
+        assert!(report.phases.dispatch <= report.phases.scan);
+        assert_eq!(
+            report.cycles,
+            report.phases.scan + report.phases.gather_aggregate
+        );
     }
 }

@@ -8,25 +8,67 @@ use hipe_logic::EngineStats;
 use hipe_sim::Cycle;
 
 /// The simulated architectures.
+///
+/// `Arch` is a thin label: each variant resolves to a stateless
+/// [`Backend`](crate::Backend) via
+/// [`System::backend`](crate::System::backend), which owns the actual
+/// compile and execute logic. Adding a machine means adding a variant
+/// and a backend — nothing else in the driver changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// x86/AVX baseline: everything in the core, data through the
     /// caches and serial links.
     HostX86,
+    /// Stock HMC atomic ISA: the core dispatches 16 B read-operate
+    /// instructions executed by the vault functional units; mask
+    /// combining stays on the host.
+    HmcIsa,
     /// HIVE: unpredicated logic-layer execution inside the cube.
     Hive,
     /// HIPE: HIVE plus the predication match logic.
     Hipe,
 }
 
+impl Arch {
+    /// All four machines in the paper's comparison order.
+    pub const ALL: [Arch; 4] = [Arch::HostX86, Arch::HmcIsa, Arch::Hive, Arch::Hipe];
+}
+
 impl std::fmt::Display for Arch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             Arch::HostX86 => "x86",
+            Arch::HmcIsa => "HMC-ISA",
             Arch::Hive => "HIVE",
             Arch::Hipe => "HIPE",
         })
     }
+}
+
+/// Cycle-level breakdown of one run into its pipeline phases.
+///
+/// The phases partition the run's timeline:
+///
+/// * `dispatch` — cycle at which the host finished handing the lowered
+///   scan program to its execution engine (completion of the last
+///   posted logic-layer instruction packet for HIVE/HIPE, of the last
+///   vault dispatch for the HMC ISA; equal to `scan` on the x86
+///   baseline, which executes the scan in place);
+/// * `scan` — cycle at which the match mask was complete in cube
+///   memory;
+/// * `gather_aggregate` — additional cycles spent on the host-side
+///   gather of matched values for the query's aggregate (zero for
+///   non-aggregating queries).
+///
+/// `scan + gather_aggregate` equals [`RunReport::cycles`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Completion cycle of command dispatch.
+    pub dispatch: Cycle,
+    /// Completion cycle of the scan itself.
+    pub scan: Cycle,
+    /// Extra cycles of the host-side aggregate gather.
+    pub gather_aggregate: Cycle,
 }
 
 /// Outcome of one query execution on one architecture.
@@ -40,8 +82,10 @@ pub struct RunReport {
     pub arch: Arch,
     /// Functional scan result (bitmask, match count, aggregate).
     pub result: ScanResult,
-    /// End-to-end cycle count of the scan.
+    /// End-to-end cycle count (scan plus aggregate gather).
     pub cycles: Cycle,
+    /// Per-phase cycle breakdown (dispatch / scan / gather-aggregate).
+    pub phases: PhaseBreakdown,
     /// Energy accumulated across cube, links, logic and caches.
     pub energy: EnergyBreakdown,
     /// Out-of-order core activity.
@@ -103,6 +147,11 @@ mod tests {
                 aggregate: None,
             },
             cycles,
+            phases: PhaseBreakdown {
+                dispatch: cycles,
+                scan: cycles,
+                gather_aggregate: 0,
+            },
             energy: EnergyBreakdown::new(),
             core: CoreStats::default(),
             cache: None,
@@ -123,5 +172,15 @@ mod tests {
     fn display_mentions_arch() {
         let r = dummy(Arch::Hive, 10, 0);
         assert!(r.to_string().starts_with("HIVE:"));
+        assert_eq!(Arch::HmcIsa.to_string(), "HMC-ISA");
+    }
+
+    #[test]
+    fn all_archs_are_distinct_labels() {
+        let labels: Vec<String> = Arch::ALL.iter().map(Arch::to_string).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), 4);
+        assert_eq!(labels, dedup);
     }
 }

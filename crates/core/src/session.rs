@@ -1,0 +1,111 @@
+//! Warm execution sessions: one materialized cube image, many runs.
+
+use crate::backend::ExecutablePlan;
+use crate::report::{Arch, RunReport};
+use crate::system::System;
+use hipe_db::Query;
+use hipe_hmc::Hmc;
+
+/// A warm execution context over one [`System`].
+///
+/// Creating a session materializes the generated table into the cube
+/// image **once**; every subsequent run reuses that image. Before each
+/// run the session applies its *reset protocol* — the mask output area
+/// is cleared and the cube's run-scoped timing, stats and energy
+/// meters are rebuilt ([`Hmc::reset_run_state`]) while the table bytes
+/// stay put — so a warm run is bit- and cycle-identical to a cold
+/// [`System::run`] (the integration tests assert this).
+///
+/// This is the execution half of the compile → session → execute
+/// split: plans compiled by a [`Backend`](crate::Backend) can be
+/// executed any number of times, on any architecture, against the one
+/// materialization.
+///
+/// # Example
+///
+/// ```
+/// use hipe::{Arch, System};
+/// use hipe_db::Query;
+///
+/// let sys = System::new(2048, 7);
+/// let mut session = sys.session();
+/// let reports = session.run_all(Arch::Hipe, &[Query::q6(), Query::quantity_below_permille(100)]);
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(sys.materializations(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Session<'a> {
+    sys: &'a System,
+    hmc: Hmc,
+}
+
+impl<'a> Session<'a> {
+    /// Creates a session, materializing the table image (the one
+    /// expensive setup step a warm batch amortizes).
+    pub(crate) fn new(sys: &'a System) -> Self {
+        Session {
+            sys,
+            hmc: sys.fresh_hmc(),
+        }
+    }
+
+    /// The system this session executes against.
+    pub fn system(&self) -> &'a System {
+        self.sys
+    }
+
+    /// The cube holding the warm image (read-only view).
+    pub fn hmc(&self) -> &Hmc {
+        &self.hmc
+    }
+
+    /// Mutable cube access for the executing backend.
+    pub(crate) fn hmc_mut(&mut self) -> &mut Hmc {
+        &mut self.hmc
+    }
+
+    /// Applies the reset protocol: zeroes the mask output area and
+    /// rebuilds the cube's run-scoped timing/stat/energy state, leaving
+    /// the table image untouched.
+    ///
+    /// [`run`](Self::run), [`run_plan`](Self::run_plan) and
+    /// [`run_all`](Self::run_all) call this before every execution;
+    /// it only needs to be invoked directly when driving a
+    /// [`Backend`](crate::Backend) by hand.
+    pub fn reset(&mut self) {
+        let mask_base = self.sys.mask_base();
+        let mask_len = self.hmc.image_len() - mask_base as usize;
+        self.hmc.zero_bytes(mask_base, mask_len);
+        self.hmc.reset_run_state();
+    }
+
+    /// Compiles and executes `query` on `arch` against the warm image.
+    pub fn run(&mut self, arch: Arch, query: &Query) -> RunReport {
+        let plan = System::backend(arch).compile(self.sys, query);
+        self.run_plan(&plan)
+    }
+
+    /// Executes an already-compiled plan against the warm image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled for a differently-sized system.
+    pub fn run_plan(&mut self, plan: &ExecutablePlan) -> RunReport {
+        assert_eq!(
+            plan.rows(),
+            self.sys.config().rows,
+            "plan was compiled for a different system"
+        );
+        self.reset();
+        System::backend(plan.arch()).execute(self, plan)
+    }
+
+    /// Runs a batch of queries on `arch`, reusing the single warm
+    /// materialization for every one of them.
+    ///
+    /// The reset protocol makes batch results independent of execution
+    /// order and identical to cold runs.
+    pub fn run_all(&mut self, arch: Arch, queries: &[Query]) -> Vec<RunReport> {
+        queries.iter().map(|q| self.run(arch, q)).collect()
+    }
+}

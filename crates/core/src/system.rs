@@ -1,15 +1,17 @@
-//! The assembled system: table, memory image and per-architecture runs.
+//! The assembled system: table, memory image and backend resolution.
 
+use crate::backend::{Backend, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Backend};
 use crate::report::{Arch, RunReport};
-use crate::{host, neardata};
+use crate::session::Session;
 use hipe_cache::HierarchyConfig;
-use hipe_compiler::REGION_ROWS;
+use hipe_compiler::{REGION_ROWS, STOCK_HMC_OP};
 use hipe_cpu::CoreConfig;
 use hipe_db::scan::ScanResult;
 use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query};
 use hipe_hmc::{Hmc, HmcConfig};
 use hipe_isa::OpSize;
 use hipe_logic::LogicConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of a full system: workload size plus the paper's
 /// component parameters (all overridable for experiments).
@@ -49,9 +51,13 @@ impl SystemConfig {
 /// A runnable system: a generated table laid out column-wise (DSM) in
 /// cube memory, ready to execute select scans on any [`Arch`].
 ///
-/// Every [`run`](Self::run) starts from a cold, freshly populated cube
-/// so that repeated runs and cross-architecture comparisons are
-/// deterministic and independent.
+/// The system itself is immutable workload state — table, layout,
+/// component parameters. Execution happens through the compile →
+/// session → execute API: [`System::backend`] resolves an [`Arch`]
+/// label to its [`Backend`], and [`session`](Self::session) opens a
+/// warm [`Session`] that materializes the cube image once and can run
+/// whole batches against it. [`run`](Self::run) and
+/// [`compare`](Self::compare) are one-shot wrappers over that API.
 ///
 /// # Example
 ///
@@ -63,13 +69,29 @@ impl SystemConfig {
 /// let report = sys.run(Arch::Hipe, &Query::q6());
 /// assert_eq!(report.result.bitmask.len(), 2048);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct System {
     cfg: SystemConfig,
     table: LineitemTable,
     layout: DsmLayout,
     mask_base: u64,
     image_len: usize,
+    /// Times the table image was materialized into a cube (sessions
+    /// amortize this; the batch tests assert it stays at one).
+    materializations: AtomicU64,
+}
+
+impl Clone for System {
+    fn clone(&self) -> Self {
+        System {
+            cfg: self.cfg.clone(),
+            table: self.table.clone(),
+            layout: self.layout,
+            mask_base: self.mask_base,
+            image_len: self.image_len,
+            materializations: AtomicU64::new(self.materializations.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl System {
@@ -98,6 +120,23 @@ impl System {
             layout,
             mask_base,
             image_len,
+            materializations: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolves an architecture label to its (stateless) backend.
+    ///
+    /// This is the single point where [`Arch`] meets implementation:
+    /// everything else — sessions, benches, tests — goes through the
+    /// returned [`Backend`].
+    pub fn backend(arch: Arch) -> &'static dyn Backend {
+        match arch {
+            Arch::HostX86 => &HostX86Backend,
+            Arch::HmcIsa => &HmcIsaBackend {
+                op_size: STOCK_HMC_OP,
+            },
+            Arch::Hive => &HiveBackend,
+            Arch::Hipe => &HipeBackend,
         }
     }
 
@@ -121,25 +160,43 @@ impl System {
         self.mask_base
     }
 
+    /// How many times the table image has been materialized into a
+    /// cube so far (each [`session`](Self::session) or cold
+    /// [`run`](Self::run) adds one; warm batch runs add none).
+    pub fn materializations(&self) -> u64 {
+        self.materializations.load(Ordering::Relaxed)
+    }
+
+    /// Opens a warm execution session, materializing the cube image
+    /// once.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
     /// Builds a cold cube populated with the table image.
     pub(crate) fn fresh_hmc(&self) -> Hmc {
+        self.materializations.fetch_add(1, Ordering::Relaxed);
         let mut hmc = Hmc::new(self.cfg.hmc.clone(), self.image_len);
         hmc.write_bytes(self.layout.base(), &self.layout.materialize(&self.table));
         hmc
     }
 
     /// Executes `query` on `arch` and reports results and measurements.
+    ///
+    /// One-shot wrapper over the session API: equivalent to opening a
+    /// fresh [`Session`] and running the query once (cold).
     pub fn run(&self, arch: Arch, query: &Query) -> RunReport {
-        match arch {
-            Arch::HostX86 => host::run(self, query),
-            Arch::Hive => neardata::run(self, query, false),
-            Arch::Hipe => neardata::run(self, query, true),
-        }
+        self.session().run(arch, query)
     }
 
-    /// Convenience: runs `query` on the host baseline and on HIPE.
+    /// Convenience: runs `query` on the host baseline and on HIPE,
+    /// sharing one warm session (a single table materialization).
     pub fn compare(&self, query: &Query) -> (RunReport, RunReport) {
-        (self.run(Arch::HostX86, query), self.run(Arch::Hipe, query))
+        let mut session = self.session();
+        (
+            session.run(Arch::HostX86, query),
+            session.run(Arch::Hipe, query),
+        )
     }
 
     /// Completes a scan `bitmask` into a [`ScanResult`], computing the
@@ -188,6 +245,24 @@ mod tests {
                 hmc.read_u64(addr) as i64,
                 sys.table().value(Column::Quantity, i)
             );
+        }
+    }
+
+    #[test]
+    fn compare_materializes_once() {
+        let sys = System::new(512, 4);
+        let (base, hipe) = sys.compare(&Query::q6());
+        assert_eq!(base.result, hipe.result);
+        assert_eq!(sys.materializations(), 1);
+        // A cold run pays its own materialization.
+        let _ = sys.run(Arch::Hipe, &Query::q6());
+        assert_eq!(sys.materializations(), 2);
+    }
+
+    #[test]
+    fn backend_resolution_is_total() {
+        for arch in Arch::ALL {
+            assert_eq!(System::backend(arch).arch(), arch);
         }
     }
 

@@ -96,6 +96,16 @@ impl Bitmask {
         }
     }
 
+    /// The mask as packed little-endian `u64` words (bit `i` of word
+    /// `i / 64` is tuple `64 * (i / 64) + i % 64`; trailing bits of the
+    /// last word are zero).
+    ///
+    /// This is exactly the in-memory format the simulated scan kernels
+    /// store at the mask output area.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// In-place intersection with `other`.
     ///
     /// # Panics
@@ -172,6 +182,17 @@ mod tests {
         let mut c = a.clone();
         c.and_with(&b);
         assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn words_pack_little_endian_with_zero_tail() {
+        let mut m = Bitmask::zeros(70);
+        m.set(0);
+        m.set(63);
+        m.set(65);
+        assert_eq!(m.words(), &[1 | (1 << 63), 2]);
+        // Trailing bits beyond `len` stay zero even after `ones`.
+        assert_eq!(Bitmask::ones(70).words()[1], 0b11_1111);
     }
 
     #[test]

@@ -33,6 +33,19 @@ impl CmpOp {
     }
 }
 
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmpOp::Lt(x) => write!(f, "< {x}"),
+            CmpOp::Le(x) => write!(f, "<= {x}"),
+            CmpOp::Gt(x) => write!(f, "> {x}"),
+            CmpOp::Ge(x) => write!(f, ">= {x}"),
+            CmpOp::Eq(x) => write!(f, "= {x}"),
+            CmpOp::Range(lo, hi) => write!(f, "between {lo} and {hi}"),
+        }
+    }
+}
+
 /// One conjunct of a select scan: a comparison over one column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ColumnPredicate {
@@ -46,6 +59,12 @@ impl ColumnPredicate {
     /// Creates a predicate.
     pub fn new(column: Column, cmp: CmpOp) -> Self {
         ColumnPredicate { column, cmp }
+    }
+}
+
+impl std::fmt::Display for ColumnPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.column, self.cmp)
     }
 }
 
@@ -140,6 +159,27 @@ impl Query {
     }
 }
 
+impl std::fmt::Display for Query {
+    /// SQL-flavoured one-liner naming the workload, e.g.
+    /// `SUM(l_extendedprice * l_discount) WHERE l_quantity < 24` —
+    /// meant for bench tables and run reports where `{:?}` would be
+    /// noise.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.aggregate {
+            f.write_str("SUM(l_extendedprice * l_discount) WHERE ")?;
+        } else {
+            f.write_str("COUNT(*) WHERE ")?;
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +236,23 @@ mod tests {
     #[should_panic(expected = "at least one predicate")]
     fn empty_query_panics() {
         let _ = Query::new(vec![], false);
+    }
+
+    #[test]
+    fn display_names_workloads_readably() {
+        assert_eq!(CmpOp::Lt(24).to_string(), "< 24");
+        assert_eq!(CmpOp::Range(5, 7).to_string(), "between 5 and 7");
+        let p = ColumnPredicate::new(Column::Quantity, CmpOp::Lt(24));
+        assert_eq!(p.to_string(), "l_quantity < 24");
+        assert_eq!(
+            Query::q6().to_string(),
+            "SUM(l_extendedprice * l_discount) WHERE \
+             l_shipdate between 731 and 1095 AND \
+             l_discount between 5 and 7 AND l_quantity < 24"
+        );
+        assert_eq!(
+            Query::quantity_below_permille(500).to_string(),
+            "COUNT(*) WHERE l_quantity < 26"
+        );
     }
 }

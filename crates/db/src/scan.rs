@@ -3,7 +3,7 @@
 //! These plain-Rust executors define the *correct answer* for every
 //! simulated architecture. The integration tests require that the
 //! functional results computed on the simulated x86, HMC, HIVE and
-//! HIPE targets equal the output of [`reference`] bit for bit.
+//! HIPE targets equal the output of [`reference()`] bit for bit.
 
 use crate::bitmask::Bitmask;
 use crate::lineitem::{Column, LineitemTable};

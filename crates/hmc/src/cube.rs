@@ -221,6 +221,27 @@ impl Hmc {
         done
     }
 
+    /// Resets every run-scoped timing and accounting structure —
+    /// vaults, link pipes, stats, energy — while keeping the memory
+    /// image intact.
+    ///
+    /// This is the cube half of a warm session's reset protocol: after
+    /// the call, the cube times and meters accesses exactly like a
+    /// freshly constructed one, but the (expensive) table image does
+    /// not have to be re-materialized. Callers that reuse output areas
+    /// (e.g. scan mask buffers) must clear those bytes themselves via
+    /// [`write_bytes`](Self::write_bytes).
+    pub fn reset_run_state(&mut self) {
+        let (num, den) = self.cfg.link_rate();
+        self.vaults = (0..self.cfg.vaults)
+            .map(|_| Vault::new(&self.cfg))
+            .collect();
+        self.req_link = ThroughputPipe::new(num, den, self.cfg.link_latency);
+        self.rsp_link = ThroughputPipe::new(num, den, self.cfg.link_latency);
+        self.stats = HmcStats::default();
+        self.energy = EnergyBreakdown::default();
+    }
+
     /// Charges one logic-layer ALU operation to the energy account
     /// (used by the HIVE/HIPE engine models).
     pub fn charge_logic_op(&mut self) {
@@ -254,6 +275,16 @@ impl Hmc {
     /// Panics if the range is outside the image.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
         self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Functional in-place zeroing of `len` image bytes at `addr`
+    /// (no scratch buffer, unlike [`write_bytes`](Self::write_bytes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the image.
+    pub fn zero_bytes(&mut self, addr: u64, len: usize) {
+        self.mem[addr as usize..addr as usize + len].fill(0);
     }
 
     /// Functional read of a little-endian `u64` at `addr`.
@@ -369,6 +400,36 @@ mod tests {
         h2.internal_read(0, 0, 256);
         let rd = h2.energy();
         assert!(wr.dram_pj() > rd.dram_pj());
+    }
+
+    #[test]
+    fn zero_bytes_clears_in_place() {
+        let mut h = cube();
+        h.write_u64(0x100, 77);
+        h.write_u64(0x108, 88);
+        h.zero_bytes(0x100, 8);
+        assert_eq!(h.read_u64(0x100), 0);
+        assert_eq!(h.read_u64(0x108), 88);
+    }
+
+    #[test]
+    fn reset_run_state_keeps_memory_and_zeroes_meters() {
+        let mut h = cube();
+        h.write_u64(0x80, 42);
+        h.access(0, 0, 256, AccessKind::Read);
+        h.finish(1000);
+        assert!(h.stats().link_bytes > 0);
+        h.reset_run_state();
+        // The image survives; timing, stats and energy are cold again.
+        assert_eq!(h.read_u64(0x80), 42);
+        assert_eq!(h.stats(), HmcStats::default());
+        assert_eq!(h.energy().total_pj(), 0.0);
+        let mut cold = cube();
+        cold.write_u64(0x80, 42);
+        assert_eq!(
+            h.access(0, 0, 256, AccessKind::Read),
+            cold.access(0, 0, 256, AccessKind::Read)
+        );
     }
 
     #[test]

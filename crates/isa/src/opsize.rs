@@ -34,7 +34,7 @@ impl OpSize {
 
     /// Creates an operation size; returns `None` unless `bytes` is one
     /// of 16, 32, 64, 128 or 256.
-    pub fn new(bytes: u64) -> Option<Self> {
+    pub const fn new(bytes: u64) -> Option<Self> {
         match bytes {
             16 | 32 | 64 | 128 | 256 => Some(OpSize(bytes)),
             _ => None,
