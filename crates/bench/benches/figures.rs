@@ -54,6 +54,16 @@ fn main() {
             )
         })
         .collect();
+    // Aggregate sweep: the same selectivity knob with the Q6-shaped
+    // SUM(l_extendedprice * l_discount) attached. HIVE/HIPE run these
+    // fused in the logic layer (per-region partials read back over the
+    // links); x86 and the HMC ISA pay the per-tuple host gather.
+    for pm in [20, 100, 500] {
+        points.push((
+            format!("agg_{:.0}%", pm as f64 / 10.0),
+            Query::quantity_below_permille(pm).with_aggregate(),
+        ));
+    }
     points.push(("q6".to_string(), Query::q6()));
 
     let mut json_points = Vec::with_capacity(points.len());

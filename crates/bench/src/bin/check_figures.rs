@@ -1,0 +1,185 @@
+//! CI schema check for `BENCH_figures.json`.
+//!
+//! The `figures` bench emits the four-machine sweep as hand-rendered
+//! JSON; this binary re-reads the emitted file and fails the pipeline
+//! if the schema drifts — in particular it requires the aggregate
+//! sweep (the `agg_*` points plus `q6`) to be present with all four
+//! architectures and non-empty phase breakdowns, so a regression that
+//! silently drops the fused-aggregate rows (or zeroes their cycles)
+//! cannot pass CI.
+//!
+//! Usage: run the `figures` bench first, then
+//! `cargo run -p hipe-bench --bin check_figures`. The file location
+//! follows the bench's convention: `HIPE_BENCH_JSON` if set, else
+//! `BENCH_figures.json` at the workspace root.
+//!
+//! The parser is intentionally a small line scanner (the workspace is
+//! offline: no serde); it understands exactly the shape the bench
+//! writes.
+
+use std::process::ExitCode;
+
+/// The architecture labels every point must report, in sweep order.
+const ARCHS: [&str; 4] = ["x86", "HMC-ISA", "HIVE", "HIPE"];
+
+/// Point names that make up the aggregate sweep.
+const AGGREGATE_POINTS: [&str; 4] = ["agg_2%", "agg_10%", "agg_50%", "q6"];
+
+fn main() -> ExitCode {
+    let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json").into()
+    });
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            return fail(&format!(
+                "cannot read {path}: {e} (run the figures bench first)"
+            ))
+        }
+    };
+    match check(&text) {
+        Ok(points) => {
+            println!("check_figures: {path} ok ({points} points, aggregate sweep present)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_figures: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Validates the document; returns the number of points on success.
+fn check(text: &str) -> Result<usize, String> {
+    if !text.contains("\"bench\": \"figures\"") {
+        return Err("not a figures document (missing \"bench\": \"figures\")".into());
+    }
+    let archs_line = format!(
+        "\"archs\": [{}]",
+        ARCHS.map(|a| format!("\"{a}\"")).join(", ")
+    );
+    if !text.contains(&archs_line) {
+        return Err(format!("arch list drifted (expected {archs_line})"));
+    }
+
+    // Each point starts with its "name" key; everything up to the next
+    // "name" (or EOF) is that point's block.
+    let blocks: Vec<(String, &str)> = text
+        .match_indices("\"name\": \"")
+        .map(|(at, pat)| {
+            let name_start = at + pat.len();
+            let name_end = text[name_start..]
+                .find('"')
+                .map(|i| name_start + i)
+                .unwrap_or(text.len());
+            let block_end = text[name_end..]
+                .find("\"name\": \"")
+                .map(|i| name_end + i)
+                .unwrap_or(text.len());
+            (text[name_start..name_end].to_string(), &text[at..block_end])
+        })
+        .collect();
+    if blocks.is_empty() {
+        return Err("no sweep points found".into());
+    }
+
+    for (name, block) in &blocks {
+        for arch in ARCHS {
+            let cycles = arch_field(block, arch, "cycles")
+                .ok_or_else(|| format!("point {name}: arch {arch} missing or lacks cycles"))?;
+            let scan = arch_field(block, arch, "scan_end")
+                .ok_or_else(|| format!("point {name}: arch {arch} lacks scan_end"))?;
+            if cycles == 0 || scan == 0 {
+                return Err(format!("point {name}: arch {arch} has empty phases"));
+            }
+        }
+    }
+
+    for wanted in AGGREGATE_POINTS {
+        let (_, block) = blocks
+            .iter()
+            .find(|(name, _)| name == wanted)
+            .ok_or_else(|| format!("aggregate sweep point {wanted} missing"))?;
+        for arch in ARCHS {
+            let gather = arch_field(block, arch, "gather_cycles")
+                .ok_or_else(|| format!("point {wanted}: arch {arch} lacks gather_cycles"))?;
+            if gather == 0 {
+                return Err(format!(
+                    "point {wanted}: arch {arch} reports a zero-cycle aggregate phase"
+                ));
+            }
+        }
+    }
+    Ok(blocks.len())
+}
+
+/// Extracts integer `field` from `arch`'s object within a point block.
+fn arch_field(block: &str, arch: &str, field: &str) -> Option<u64> {
+    let obj_at = block.find(&format!("\"{arch}\": {{"))?;
+    let obj = &block[obj_at..block[obj_at..].find('}').map(|i| obj_at + i)?];
+    let key = format!("\"{field}\": ");
+    let at = obj.find(&key)? + key.len();
+    let digits: String = obj[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(gather_q6: u64) -> String {
+        let point = |name: &str, gather: u64| {
+            let archs: Vec<String> = ARCHS
+                .iter()
+                .map(|a| {
+                    format!(
+                        "\"{a}\": {{\"cycles\": 100, \"dispatch_end\": 1, \"scan_end\": 90, \
+                         \"gather_cycles\": {gather}}}"
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+                archs.join(", ")
+            )
+        };
+        format!(
+            "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
+             \"points\": [{}, {}, {}, {}, {}]}}",
+            point("sel_2%", 0),
+            point("agg_2%", 7),
+            point("agg_10%", 7),
+            point("agg_50%", 7),
+            point("q6", gather_q6),
+        )
+    }
+
+    #[test]
+    fn accepts_a_complete_document() {
+        assert_eq!(check(&doc(10)), Ok(5));
+    }
+
+    #[test]
+    fn rejects_missing_aggregate_points() {
+        let text = doc(10).replace("agg_10%", "agg_renamed");
+        assert!(check(&text).unwrap_err().contains("agg_10%"));
+    }
+
+    #[test]
+    fn rejects_empty_aggregate_phase() {
+        assert!(check(&doc(0)).unwrap_err().contains("zero-cycle"));
+    }
+
+    #[test]
+    fn rejects_missing_arch() {
+        let text = doc(10).replace("\"HIVE\": {", "\"hive\": {");
+        assert!(check(&text).unwrap_err().contains("HIVE"));
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(check("{}").is_err());
+    }
+}

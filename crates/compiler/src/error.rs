@@ -1,0 +1,63 @@
+//! Typed compile errors of the query-lowering layer.
+
+/// Why a query could not be lowered for a target machine.
+///
+/// Returned by every `lower_*` entry point and surfaced unchanged
+/// through the driver's `Backend::compile` path, so invalid inputs are
+/// a recoverable error for callers instead of a panic from deep inside
+/// the compiler.
+///
+/// # Example
+///
+/// ```
+/// use hipe_compiler::{lower_hmc_scan, CompileError, STOCK_HMC_OP};
+/// use hipe_db::{DsmLayout, Query};
+///
+/// let empty = DsmLayout::new(0, 0);
+/// let err = lower_hmc_scan(&Query::q6(), &empty, 0, STOCK_HMC_OP);
+/// assert_eq!(err.unwrap_err(), CompileError::EmptyTable);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The layout covers zero rows: there is nothing to scan and no
+    /// mask to produce.
+    EmptyTable,
+    /// Aggregate lowering was requested for a query that does not
+    /// aggregate (no `SUM(l_extendedprice * l_discount)` to fuse).
+    NotAnAggregate,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::EmptyTable => f.write_str("cannot lower a scan over zero rows"),
+            CompileError::NotAnAggregate => {
+                f.write_str("aggregate lowering requires an aggregating query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        assert_eq!(
+            CompileError::EmptyTable.to_string(),
+            "cannot lower a scan over zero rows"
+        );
+        assert!(CompileError::NotAnAggregate
+            .to_string()
+            .contains("aggregate"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(CompileError::EmptyTable);
+        assert!(e.source().is_none());
+    }
+}

@@ -9,6 +9,7 @@
 //! mask words — stays on the host, which is precisely what separates
 //! this machine from HIVE/HIPE's in-cube program execution.
 
+use crate::error::CompileError;
 use crate::logic::REGION_ROWS;
 use hipe_db::{CmpOp, DsmLayout, Query};
 use hipe_isa::{MicroOp, MicroOpKind, OpSize, VaultOp, LANE_BYTES};
@@ -67,7 +68,7 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 /// use hipe_isa::MicroOpKind;
 ///
 /// let layout = DsmLayout::new(0, 64);
-/// let ops = lower_hmc_scan(&Query::q6(), &layout, 1 << 20, STOCK_HMC_OP);
+/// let ops = lower_hmc_scan(&Query::q6(), &layout, 1 << 20, STOCK_HMC_OP).expect("64 rows");
 /// let dispatches = ops
 ///     .iter()
 ///     .filter(|o| matches!(o.kind, MicroOpKind::HmcDispatch { .. }))
@@ -76,16 +77,18 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 /// assert_eq!(dispatches, 2 * 3 * 16);
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the layout has zero rows.
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
 pub fn lower_hmc_scan(
     query: &Query,
     layout: &DsmLayout,
     mask_base: u64,
     op_size: OpSize,
-) -> Vec<MicroOp> {
-    assert!(layout.rows() > 0, "cannot lower a scan over zero rows");
+) -> Result<Vec<MicroOp>, CompileError> {
+    if layout.rows() == 0 {
+        return Err(CompileError::EmptyTable);
+    }
     let regions = layout.rows().div_ceil(REGION_ROWS);
     let region_bytes = REGION_ROWS as u64 * LANE_BYTES;
     let chunks = (region_bytes / op_size.bytes()) as usize;
@@ -136,7 +139,7 @@ pub fn lower_hmc_scan(
         ops.push(MicroOp::new(MicroOpKind::IntAlu));
         ops.push(MicroOp::new(MicroOpKind::Branch { mispredict: false }).with_deps(1, 0));
     }
-    ops
+    Ok(ops)
 }
 
 #[cfg(test)]
@@ -163,7 +166,8 @@ mod tests {
     #[test]
     fn stock_ops_cover_whole_column_in_16_byte_chunks() {
         let layout = DsmLayout::new(0, 1024);
-        let ops = lower_hmc_scan(&one_pred_query(), &layout, 1 << 20, STOCK_HMC_OP);
+        let ops = lower_hmc_scan(&one_pred_query(), &layout, 1 << 20, STOCK_HMC_OP)
+            .expect("non-empty layout");
         let d = dispatches(&ops);
         // 1024 rows x 8 B / 16 B chunks.
         assert_eq!(d.len(), 512);
@@ -177,7 +181,7 @@ mod tests {
     fn comparisons_become_inclusive_ranges() {
         let layout = DsmLayout::new(0, 32);
         let q = Query::q6();
-        let ops = lower_hmc_scan(&q, &layout, 4096, OpSize::MAX);
+        let ops = lower_hmc_scan(&q, &layout, 4096, OpSize::MAX).expect("non-empty layout");
         let d = dispatches(&ops);
         assert_eq!(d.len(), 3);
         assert_eq!(d[0].2, VaultOp::LoadCmp { lo: 731, hi: 1095 });
@@ -195,7 +199,8 @@ mod tests {
     fn mask_words_are_stored_every_64_rows() {
         // 100 rows = 4 regions = 2 packed words.
         let layout = DsmLayout::new(0, 100);
-        let ops = lower_hmc_scan(&one_pred_query(), &layout, 1 << 16, STOCK_HMC_OP);
+        let ops = lower_hmc_scan(&one_pred_query(), &layout, 1 << 16, STOCK_HMC_OP)
+            .expect("non-empty layout");
         let stores: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o.kind {
@@ -211,7 +216,8 @@ mod tests {
         // 96 rows = 3 regions: word 0 after region 1, word 1 after the
         // unpaired region 2.
         let layout = DsmLayout::new(0, 96);
-        let ops = lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP);
+        let ops =
+            lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP).expect("non-empty layout");
         let stores = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
@@ -222,7 +228,8 @@ mod tests {
     #[test]
     fn multi_predicate_regions_emit_host_combine_alus() {
         let layout = DsmLayout::new(0, 32);
-        let ops = lower_hmc_scan(&Query::q6(), &layout, 4096, STOCK_HMC_OP);
+        let ops =
+            lower_hmc_scan(&Query::q6(), &layout, 4096, STOCK_HMC_OP).expect("non-empty layout");
         let alus = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::IntAlu))
@@ -234,24 +241,30 @@ mod tests {
     #[test]
     fn wider_ops_shrink_the_dispatch_stream() {
         let layout = DsmLayout::new(0, 4096);
-        let stock = dispatches(&lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP)).len();
-        let max = dispatches(&lower_hmc_scan(&one_pred_query(), &layout, 0, OpSize::MAX)).len();
+        let q = one_pred_query();
+        let stock =
+            dispatches(&lower_hmc_scan(&q, &layout, 0, STOCK_HMC_OP).expect("non-empty")).len();
+        let max =
+            dispatches(&lower_hmc_scan(&q, &layout, 0, OpSize::MAX).expect("non-empty")).len();
         assert_eq!(stock, 16 * max);
     }
 
     #[test]
     fn branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
-        let ops = lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP);
+        let ops =
+            lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP).expect("non-empty layout");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
     }
 
     #[test]
-    #[should_panic(expected = "zero rows")]
-    fn zero_rows_panics() {
+    fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
-        let _ = lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP);
+        assert_eq!(
+            lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP).unwrap_err(),
+            CompileError::EmptyTable
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Lowering of select scans to x86-baseline micro-op streams.
 
+use crate::error::CompileError;
 use hipe_db::{DsmLayout, Query, COLUMN_BYTES};
 use hipe_isa::{MicroOp, MicroOpKind, OpSize};
 
@@ -29,16 +30,22 @@ const LINES_PER_MASK_WORD: usize = 8;
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let layout = DsmLayout::new(0, 512);
-/// let ops = lower_host_scan(&Query::q6(), &layout, 1 << 20);
+/// let ops = lower_host_scan(&Query::q6(), &layout, 1 << 20).expect("512 rows");
 /// // Three predicates, 64 lines each, >= 5 micro-ops per line.
 /// assert!(ops.len() >= 3 * 64 * 5);
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the layout has zero rows.
-pub fn lower_host_scan(query: &Query, layout: &DsmLayout, mask_base: u64) -> Vec<MicroOp> {
-    assert!(layout.rows() > 0, "cannot lower a scan over zero rows");
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
+pub fn lower_host_scan(
+    query: &Query,
+    layout: &DsmLayout,
+    mask_base: u64,
+) -> Result<Vec<MicroOp>, CompileError> {
+    if layout.rows() == 0 {
+        return Err(CompileError::EmptyTable);
+    }
     let vec_size = OpSize::new(64).expect("64 B is a supported vector width");
     let lines = layout.rows().div_ceil(LINE_ROWS);
     let mut ops = Vec::with_capacity(query.predicates().len() * lines * 6);
@@ -87,7 +94,7 @@ pub fn lower_host_scan(query: &Query, layout: &DsmLayout, mask_base: u64) -> Vec
             ops.push(MicroOp::new(MicroOpKind::Branch { mispredict: false }).with_deps(1, 0));
         }
     }
-    ops
+    Ok(ops)
 }
 
 #[cfg(test)]
@@ -105,7 +112,7 @@ mod tests {
     #[test]
     fn stream_touches_whole_column() {
         let layout = DsmLayout::new(0, 1024);
-        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20);
+        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20).expect("non-empty");
         let col = layout.column_base(Column::Quantity);
         let loads: Vec<u64> = ops
             .iter()
@@ -123,7 +130,7 @@ mod tests {
     fn later_predicates_read_modify_write_mask() {
         let layout = DsmLayout::new(0, 64);
         let q = Query::q6();
-        let ops = lower_host_scan(&q, &layout, 1 << 20);
+        let ops = lower_host_scan(&q, &layout, 1 << 20).expect("non-empty");
         let mask_loads = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Load { bytes: 8, .. }))
@@ -141,7 +148,7 @@ mod tests {
     #[test]
     fn loop_branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
-        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20);
+        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20).expect("non-empty");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
@@ -151,7 +158,7 @@ mod tests {
     fn tail_rows_emit_final_mask_word() {
         // 70 rows = 9 lines: the last (partial) word is flushed.
         let layout = DsmLayout::new(0, 70);
-        let ops = lower_host_scan(&one_pred_query(), &layout, 4096);
+        let ops = lower_host_scan(&one_pred_query(), &layout, 4096).expect("non-empty");
         let stores = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
@@ -160,9 +167,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero rows")]
-    fn zero_rows_panics() {
+    fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
-        let _ = lower_host_scan(&one_pred_query(), &layout, 0);
+        assert_eq!(
+            lower_host_scan(&one_pred_query(), &layout, 0).unwrap_err(),
+            CompileError::EmptyTable
+        );
     }
 }

@@ -26,6 +26,21 @@
 //!   functional units (16 B operands on the stock machine,
 //!   [`STOCK_HMC_OP`]), with the mask combine/pack/store work kept on
 //!   the host.
+//! * [`lower_logic_aggregate`] — the fused near-data aggregate path
+//!   for `SUM(l_extendedprice * l_discount)` queries on HIVE/HIPE:
+//!   each region's scan block is extended with loads of the price and
+//!   discount chunks, a lane-wise `Mul`, and a dot-product `AddReduce`
+//!   against the match mask into the region's lane of a group partial
+//!   register, flushed one row-buffer store per 32-region group next
+//!   to the mask output ([`AGG_SLOT_BYTES`] per region) — the host
+//!   only reads back and combines the compact partials instead of
+//!   gathering matched tuples over the links. On HIPE the whole tail
+//!   is predicated, so regions without matches squash it.
+//!
+//! Every entry point returns a typed [`CompileError`] for invalid
+//! inputs (zero-row layouts, aggregate lowering of non-aggregating
+//! queries) instead of panicking, and the driver's `Backend::compile`
+//! surfaces the error unchanged.
 //!
 //! The lowering is *timing-oriented*: the emitted streams drive the
 //! cycle models, while functional results are computed by the engines
@@ -33,13 +48,17 @@
 //! (host paths) in the top-level `hipe` crate.
 //!
 //! Entry points not needed yet by the driver (NSM tuple-at-a-time
-//! lowering, fused aggregate lowering for `SUM(price * discount)`) are
-//! future work tracked in the ROADMAP.
+//! lowering) are future work tracked in the ROADMAP.
 
+mod error;
 mod hmc;
 mod host;
 mod logic;
 
+pub use error::CompileError;
 pub use hmc::{lower_hmc_scan, STOCK_HMC_OP};
 pub use host::lower_host_scan;
-pub use logic::{lower_logic_scan, LogicScanProgram, REGION_ROWS};
+pub use logic::{
+    aggregate_area_bytes, lower_logic_aggregate, lower_logic_scan, LogicScanProgram,
+    AGG_SLOT_BYTES, REGION_ROWS,
+};

@@ -1,19 +1,57 @@
-//! Lowering of select scans to HIVE/HIPE logic-layer programs.
+//! Lowering of select scans (and fused aggregates) to HIVE/HIPE
+//! logic-layer programs.
 
-use hipe_db::{CmpOp, DsmLayout, Query};
+use crate::error::CompileError;
+use hipe_db::{CmpOp, Column, DsmLayout, Query};
 use hipe_isa::{AluOp, LogicInstr, OpSize, Predicate, RegId};
 
 /// Rows covered by one logic-layer operation: a full 256 B register
 /// (32 x 8 B lanes), which is also one DRAM row buffer.
 pub const REGION_ROWS: usize = 32;
 
-/// A lowered logic-layer select scan.
+/// Bytes of one per-region partial-sum slot in the aggregate output
+/// area: one 8 B lane per region.
+pub const AGG_SLOT_BYTES: u64 = 8;
+
+/// Regions whose partials share one 256 B partial-sum register (and
+/// therefore one row-buffer store): the lane-merging `AddReduce`
+/// deposits each region's sum into its own lane, and the register is
+/// flushed once per group. One store per 32 regions keeps the
+/// partial-store traffic off the banks that the column-load streams
+/// sweep — a store per region was measured to collide with every
+/// passing stream and stall the scan.
+const AGG_GROUP: usize = 32;
+
+/// 256 B DRAM rows of the aggregate output area for `regions` regions.
+fn agg_area_rows(regions: usize) -> usize {
+    regions.div_ceil(AGG_GROUP)
+}
+
+/// Bytes of the aggregate partial-sum output area for a table of
+/// `rows` rows: whole 256 B DRAM rows holding one 8 B slot per 32-row
+/// region. The `System` driver reserves this much image right after
+/// the mask area.
+pub fn aggregate_area_bytes(rows: usize) -> u64 {
+    agg_area_rows(rows.div_ceil(REGION_ROWS)) as u64 * OpSize::MAX.bytes()
+}
+
+/// A lowered logic-layer program: a select scan, optionally extended
+/// with the fused near-data aggregate tail.
 ///
 /// The program is a flat in-order instruction stream: one `Lock`, then
-/// per-region compare/AND/store blocks, then one `Unlock` whose
-/// acknowledgement tells the host the scan (and its mask stores) is
-/// complete. Region `i` covers rows `[32 * i, 32 * i + 32)` and writes
-/// its match mask (one 0/1 lane per row) to `mask_addr(i)`.
+/// per-region blocks, then one `Unlock` whose acknowledgement tells
+/// the host the scan (and its stores) is complete. Region `i` covers
+/// rows `[32 * i, 32 * i + 32)` and writes its match mask (one 0/1
+/// lane per row) to [`mask_addr`](Self::mask_addr)`(i)`.
+///
+/// For aggregate queries lowered with [`lower_logic_aggregate`], each
+/// region's block additionally loads the `l_extendedprice` and
+/// `l_discount` chunks, multiplies them, and dot-product-reduces the
+/// products against the match mask into the region's lane of a group
+/// partial-sum register, flushed one row buffer per 32-region group;
+/// region `i`'s 8 B partial lands at [`agg_addr`](Self::agg_addr)`(i)`
+/// — so only compact partials (not per-tuple values) ever cross the
+/// serial links.
 ///
 /// # Example
 ///
@@ -22,17 +60,21 @@ pub const REGION_ROWS: usize = 32;
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let layout = DsmLayout::new(0, 1000);
-/// let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 20, true);
+/// let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 20, true).expect("non-empty layout");
 /// assert_eq!(prog.regions(), 1000usize.div_ceil(REGION_ROWS));
 /// assert_eq!(prog.mask_addr(2), (1 << 20) + 512);
 /// // Lock + per-region block + Unlock.
 /// assert!(prog.instrs().len() > 2 * prog.regions());
+/// assert_eq!(prog.aggregate_base(), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct LogicScanProgram {
     instrs: Vec<LogicInstr>,
     regions: usize,
     mask_base: u64,
+    /// Base address of the per-region partial-sum area (fused
+    /// aggregate programs only).
+    agg_base: Option<u64>,
 }
 
 impl LogicScanProgram {
@@ -61,6 +103,33 @@ impl LogicScanProgram {
     pub fn mask_bytes(&self) -> u64 {
         self.regions as u64 * OpSize::MAX.bytes()
     }
+
+    /// Base address of the per-region partial-sum output area, or
+    /// `None` for a plain (non-aggregating) scan program.
+    pub fn aggregate_base(&self) -> Option<u64> {
+        self.agg_base
+    }
+
+    /// Address of region `i`'s 8 B partial-sum slot: lane `i % 32` of
+    /// the area row its 32-region group was flushed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program carries no fused aggregate.
+    pub fn agg_addr(&self, i: usize) -> u64 {
+        let base = self.agg_base.expect("not an aggregate program");
+        base + i as u64 * AGG_SLOT_BYTES
+    }
+
+    /// Bytes of the partial-sum output area (whole 256 B rows; unused
+    /// pad slots stay zero and contribute nothing to the combined sum;
+    /// zero for plain scans).
+    pub fn agg_bytes(&self) -> u64 {
+        match self.agg_base {
+            Some(_) => agg_area_rows(self.regions) as u64 * OpSize::MAX.bytes(),
+            None => 0,
+        }
+    }
 }
 
 /// Maps a database comparison onto the logic-layer ALU.
@@ -75,8 +144,9 @@ fn alu_op(cmp: CmpOp) -> AluOp {
     }
 }
 
-/// Lowers `query` over a DSM `layout` into a logic-layer program whose
-/// match masks are written starting at `mask_base` (256 B per region).
+/// Lowers `query` over a DSM `layout` into a logic-layer select-scan
+/// program whose match masks are written starting at `mask_base`
+/// (256 B per region).
 ///
 /// With `predicated` set (HIPE), every instruction of a region after
 /// the first compare carries an any-non-zero predicate on the running
@@ -85,36 +155,93 @@ fn alu_op(cmp: CmpOp) -> AluOp {
 /// region's loads can overlap the previous region's stores (the
 /// interlocked bank resolves the WAR hazards).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the layout has zero rows.
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
 pub fn lower_logic_scan(
     query: &Query,
     layout: &DsmLayout,
     mask_base: u64,
     predicated: bool,
-) -> LogicScanProgram {
-    assert!(layout.rows() > 0, "cannot lower a scan over zero rows");
+) -> Result<LogicScanProgram, CompileError> {
+    lower(query, layout, mask_base, predicated, false)
+}
+
+/// Lowers an aggregate `query` into a fused logic-layer program: the
+/// select scan of [`lower_logic_scan`] with each region's block
+/// extended by the near-data aggregate tail —
+///
+/// 1. load the region's `l_extendedprice` and `l_discount` chunks,
+/// 2. `Mul` them lane-wise,
+/// 3. `AddReduce` the products against the match mask (dot product,
+///    so non-matching lanes contribute zero) into this region's lane
+///    of a group partial-sum register,
+/// 4. once per 32-region group, flush the register's 32 partials as a
+///    single row-buffer store next to the mask output
+///    ([`LogicScanProgram::agg_addr`] locates each region's 8 B slot).
+///
+/// The tail uses its own register sets so its DRAM latency hides
+/// behind the next region's scan, and the one-store-per-group flush
+/// keeps the partial stores from contending with the column-load
+/// streams for banks. With `predicated` set (HIPE) the per-region
+/// tail is guarded on the region's mask being non-zero, so regions
+/// with no matching tuple squash it in a sequencer slot per
+/// instruction without touching DRAM; the group's register is zeroed
+/// unpredicated at group start, which makes a squashed region's lane
+/// an exact zero.
+///
+/// # Errors
+///
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows,
+/// [`CompileError::NotAnAggregate`] if the query does not aggregate.
+pub fn lower_logic_aggregate(
+    query: &Query,
+    layout: &DsmLayout,
+    mask_base: u64,
+    predicated: bool,
+) -> Result<LogicScanProgram, CompileError> {
+    if !query.aggregates() {
+        return Err(CompileError::NotAnAggregate);
+    }
+    lower(query, layout, mask_base, predicated, true)
+}
+
+/// Shared emitter of scan and fused-aggregate programs.
+fn lower(
+    query: &Query,
+    layout: &DsmLayout,
+    mask_base: u64,
+    predicated: bool,
+    fused_aggregate: bool,
+) -> Result<LogicScanProgram, CompileError> {
+    if layout.rows() == 0 {
+        return Err(CompileError::EmptyTable);
+    }
     let size = OpSize::MAX;
     let regions = layout.rows().div_ceil(REGION_ROWS);
     let npreds = query.predicates().len();
-    // Lock + Unlock + per region: 2 + 3 * (npreds - 1) + 1.
-    let mut instrs = Vec::with_capacity(2 + regions * (3 * npreds));
+    let agg_base = fused_aggregate.then(|| mask_base + regions as u64 * size.bytes());
+    let tail_len = if fused_aggregate { 6 } else { 0 };
+    let mut instrs = Vec::with_capacity(2 + regions * (3 * npreds + 1 + tail_len));
 
-    // Two register sets, alternated between consecutive regions:
-    // (data, mask, tmp).
-    let set = |base: usize| {
-        (
-            RegId::new(base).expect("register in bank"),
-            RegId::new(base + 1).expect("register in bank"),
-            RegId::new(base + 2).expect("register in bank"),
-        )
-    };
-    let sets = [set(0), set(3)];
+    let reg = |i: usize| RegId::new(i).expect("register in bank");
+    // Register sets rotated between consecutive regions: two scan sets
+    // of (data, mask, tmp), and — for fused aggregates — four tail
+    // sets of (price, discount, partial). The tail gets its own, wider
+    // rotation so its column loads' DRAM latency stays off the next
+    // regions' scan chain (the balanced bank has 36 registers; the
+    // scan alone leaves 30 of them idle).
+    let set = |base: usize| (reg(base), reg(base + 1), reg(base + 2));
+    let scan_sets = [set(0), set(3)];
+    let agg_sets = [set(6), set(9), set(12), set(15)];
+    // Group partial-sum registers, alternated between consecutive
+    // 32-region groups so a group's flush overlaps the next group's
+    // reduces.
+    let parts = [reg(18), reg(19)];
 
     instrs.push(LogicInstr::Lock);
     for region in 0..regions {
-        let (r_data, r_mask, r_tmp) = sets[region % 2];
+        let (r_data, r_mask, r_tmp) = scan_sets[region % 2];
         let chunk = region as u64 * size.bytes();
         let guard = predicated.then(|| Predicate::any_nonzero(r_mask));
         for (pi, p) in query.predicates().iter().enumerate() {
@@ -164,20 +291,98 @@ pub fn lower_logic_scan(
             size,
             pred: guard,
         });
+        if let Some(agg_base) = agg_base {
+            let (r_price, r_disc, r_mcopy) = agg_sets[region % 4];
+            let group = region / AGG_GROUP;
+            let r_part = parts[group % 2];
+            if region % AGG_GROUP == 0 {
+                // Fresh group: zero its partial register (never
+                // predicated — on HIPE a squashed region must leave
+                // its lane at exactly zero, not at the previous
+                // group's value).
+                instrs.push(LogicInstr::Alu {
+                    op: AluOp::Sub,
+                    dst: r_part,
+                    a: r_part,
+                    b: Some(r_part),
+                    size,
+                    pred: None,
+                });
+            }
+            // Snapshot the final mask into a tail register immediately:
+            // the copy consumes `r_mask` as soon as it is ready, so the
+            // reduce (which waits ~a DRAM latency for the price chunk)
+            // does not stretch the scan's cross-region WAR chain on the
+            // mask register.
+            instrs.push(LogicInstr::Alu {
+                op: AluOp::Or,
+                dst: r_mcopy,
+                a: r_mask,
+                b: Some(r_mask),
+                size,
+                pred: guard,
+            });
+            instrs.push(LogicInstr::Load {
+                dst: r_price,
+                addr: layout.column_base(Column::ExtendedPrice) + chunk,
+                size,
+                pred: guard,
+            });
+            instrs.push(LogicInstr::Load {
+                dst: r_disc,
+                addr: layout.column_base(Column::Discount) + chunk,
+                size,
+                pred: guard,
+            });
+            instrs.push(LogicInstr::Alu {
+                op: AluOp::Mul,
+                dst: r_price,
+                a: r_price,
+                b: Some(r_disc),
+                size,
+                pred: guard,
+            });
+            // Dot product against the 0/1 match mask into this
+            // region's lane of the group partial register:
+            // non-matching lanes (and the zero-padded tail of the
+            // last region) contribute nothing.
+            instrs.push(LogicInstr::Alu {
+                op: AluOp::AddReduce {
+                    lane: (region % AGG_GROUP) as u8,
+                },
+                dst: r_part,
+                a: r_price,
+                b: Some(r_mcopy),
+                size,
+                pred: guard,
+            });
+            if (region + 1) % AGG_GROUP == 0 || region + 1 == regions {
+                // Flush the group's 32 partials as one row-buffer
+                // store (never predicated: earlier regions of the
+                // group may have matched even if this one did not).
+                instrs.push(LogicInstr::Store {
+                    src: r_part,
+                    addr: agg_base + group as u64 * size.bytes(),
+                    size,
+                    pred: None,
+                });
+            }
+        }
     }
     instrs.push(LogicInstr::Unlock);
 
-    LogicScanProgram {
+    Ok(LogicScanProgram {
         instrs,
         regions,
         mask_base,
-    }
+        agg_base,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hipe_db::{Column, ColumnPredicate};
+    use hipe_db::ColumnPredicate;
 
     fn one_pred_query() -> Query {
         Query::new(
@@ -186,10 +391,19 @@ mod tests {
         )
     }
 
+    fn scan(query: &Query, rows: usize, mask_base: u64, predicated: bool) -> LogicScanProgram {
+        let layout = DsmLayout::new(0, rows);
+        lower_logic_scan(query, &layout, mask_base, predicated).expect("non-empty layout")
+    }
+
+    fn aggregate(query: &Query, rows: usize, mask_base: u64, pred: bool) -> LogicScanProgram {
+        let layout = DsmLayout::new(0, rows);
+        lower_logic_aggregate(query, &layout, mask_base, pred).expect("valid aggregate")
+    }
+
     #[test]
     fn single_predicate_block_shape() {
-        let layout = DsmLayout::new(0, 64);
-        let prog = lower_logic_scan(&one_pred_query(), &layout, 4096, true);
+        let prog = scan(&one_pred_query(), 64, 4096, true);
         assert_eq!(prog.regions(), 2);
         // Lock, (Load, Cmp, Store) x 2, Unlock.
         assert_eq!(prog.instrs().len(), 8);
@@ -199,8 +413,7 @@ mod tests {
 
     #[test]
     fn q6_emits_three_compares_per_region() {
-        let layout = DsmLayout::new(0, 32);
-        let prog = lower_logic_scan(&Query::q6(), &layout, 4096, true);
+        let prog = scan(&Query::q6(), 32, 4096, true);
         let alu = prog
             .instrs()
             .iter()
@@ -212,15 +425,13 @@ mod tests {
 
     #[test]
     fn hive_lowering_is_unpredicated() {
-        let layout = DsmLayout::new(0, 320);
-        let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 16, false);
+        let prog = scan(&Query::q6(), 320, 1 << 16, false);
         assert!(prog.instrs().iter().all(|i| i.predicate().is_none()));
     }
 
     #[test]
     fn hipe_lowering_guards_everything_after_first_compare() {
-        let layout = DsmLayout::new(0, 32);
-        let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 16, true);
+        let prog = scan(&Query::q6(), 32, 1 << 16, true);
         let preds = prog
             .instrs()
             .iter()
@@ -232,8 +443,7 @@ mod tests {
 
     #[test]
     fn first_load_and_compare_never_predicated() {
-        let layout = DsmLayout::new(0, 3200);
-        let prog = lower_logic_scan(&one_pred_query(), &layout, 1 << 20, true);
+        let prog = scan(&one_pred_query(), 3200, 1 << 20, true);
         for w in prog.instrs().windows(2) {
             if let [LogicInstr::Load { pred, .. }, LogicInstr::Alu { pred: apred, .. }] = w {
                 if pred.is_none() {
@@ -245,8 +455,7 @@ mod tests {
 
     #[test]
     fn mask_addresses_are_disjoint_row_buffers() {
-        let layout = DsmLayout::new(0, 100);
-        let prog = lower_logic_scan(&one_pred_query(), &layout, 1 << 20, true);
+        let prog = scan(&one_pred_query(), 100, 1 << 20, true);
         assert_eq!(prog.regions(), 4);
         for i in 1..prog.regions() {
             assert_eq!(prog.mask_addr(i) - prog.mask_addr(i - 1), 256);
@@ -256,8 +465,7 @@ mod tests {
 
     #[test]
     fn consecutive_regions_alternate_register_sets() {
-        let layout = DsmLayout::new(0, 64);
-        let prog = lower_logic_scan(&one_pred_query(), &layout, 1 << 20, false);
+        let prog = scan(&one_pred_query(), 64, 1 << 20, false);
         let dsts: Vec<_> = prog
             .instrs()
             .iter()
@@ -270,9 +478,172 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero rows")]
-    fn zero_rows_panics() {
+    fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
-        let _ = lower_logic_scan(&one_pred_query(), &layout, 0, true);
+        assert_eq!(
+            lower_logic_scan(&one_pred_query(), &layout, 0, true).unwrap_err(),
+            CompileError::EmptyTable
+        );
+        assert_eq!(
+            lower_logic_aggregate(&Query::q6(), &layout, 0, true).unwrap_err(),
+            CompileError::EmptyTable
+        );
+    }
+
+    #[test]
+    fn aggregate_lowering_rejects_plain_scans() {
+        let layout = DsmLayout::new(0, 64);
+        assert_eq!(
+            lower_logic_aggregate(&one_pred_query(), &layout, 1 << 16, true).unwrap_err(),
+            CompileError::NotAnAggregate
+        );
+    }
+
+    #[test]
+    fn aggregate_tail_extends_every_region() {
+        let q = Query::q6();
+        let plain = scan(&q, 100, 1 << 20, true);
+        let fused = aggregate(&q, 100, 1 << 20, true);
+        assert_eq!(fused.regions(), plain.regions());
+        // Five tail instructions per region, plus one zero and one
+        // flush for the single 32-region group.
+        assert_eq!(
+            fused.instrs().len(),
+            plain.instrs().len() + 5 * fused.regions() + 2
+        );
+        let muls = fused
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, LogicInstr::Alu { op: AluOp::Mul, .. }))
+            .count();
+        let reduce_lanes: Vec<u8> = fused
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                LogicInstr::Alu {
+                    op: AluOp::AddReduce { lane },
+                    b: Some(_),
+                    ..
+                } => Some(*lane),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(muls, fused.regions());
+        // One mask-dotted reduce per region, each into its own lane.
+        assert_eq!(reduce_lanes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn aggregate_partials_live_after_the_mask_area() {
+        let prog = aggregate(&Query::q6(), 100, 1 << 20, false);
+        let base = prog.aggregate_base().expect("fused program");
+        assert_eq!(base, prog.mask_base() + prog.mask_bytes());
+        // One 8 B slot per region, dense from the area base.
+        for i in 0..prog.regions() {
+            assert_eq!(prog.agg_addr(i), base + i as u64 * AGG_SLOT_BYTES);
+        }
+        assert_eq!(prog.agg_bytes(), 256);
+        // Four regions form one group: a single row-buffer flush into
+        // the area.
+        let stores: Vec<u64> = prog
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                LogicInstr::Store { addr, .. } if *addr >= base => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores, vec![base]);
+    }
+
+    #[test]
+    fn aggregate_groups_flush_one_row_buffer_each() {
+        // 3200 rows = 100 regions = 4 groups (32 + 32 + 32 + 4): one
+        // unpredicated zero + one unpredicated flush per group, flushes
+        // to consecutive area rows, and the final partial group is
+        // flushed by the last region.
+        let prog = aggregate(&Query::q6(), 3200, 1 << 20, true);
+        let base = prog.aggregate_base().expect("fused program");
+        let zeroes = prog
+            .instrs()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    LogicInstr::Alu {
+                        op: AluOp::Sub,
+                        pred: None,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let flushes: Vec<u64> = prog
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                LogicInstr::Store {
+                    addr, pred: None, ..
+                } if *addr >= base => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(zeroes, 4);
+        assert_eq!(flushes, vec![base, base + 256, base + 512, base + 768]);
+        assert_eq!(prog.agg_bytes(), 4 * 256);
+        // Slot addresses stay inside the area, one per region.
+        let mut addrs: Vec<u64> = (0..prog.regions()).map(|i| prog.agg_addr(i)).collect();
+        addrs.dedup();
+        assert_eq!(addrs.len(), prog.regions());
+        assert!(addrs
+            .iter()
+            .all(|&a| a >= base && a + AGG_SLOT_BYTES <= base + prog.agg_bytes()));
+    }
+
+    #[test]
+    fn hipe_aggregate_tail_is_fully_guarded() {
+        let prog = aggregate(&Query::q6(), 32, 1 << 16, true);
+        // Scan guards (7) plus the five per-region tail instructions;
+        // the group zero and flush must stay unpredicated.
+        let preds = prog
+            .instrs()
+            .iter()
+            .filter(|i| i.predicate().is_some())
+            .count();
+        assert_eq!(preds, 7 + 5);
+        assert!(prog.instrs().iter().any(
+            |i| matches!(i, LogicInstr::Store { addr, pred: None, .. } if *addr >= prog.aggregate_base().expect("fused"))
+        ));
+    }
+
+    #[test]
+    fn hive_aggregate_tail_is_unpredicated() {
+        let prog = aggregate(&Query::q6(), 320, 1 << 16, false);
+        assert!(prog.instrs().iter().all(|i| i.predicate().is_none()));
+    }
+
+    #[test]
+    fn aggregate_tail_loads_price_and_discount_columns() {
+        let layout = DsmLayout::new(0, 32);
+        let prog =
+            lower_logic_aggregate(&Query::q6(), &layout, 1 << 16, false).expect("valid aggregate");
+        let loads: Vec<u64> = prog
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                LogicInstr::Load { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        // Scan loads the three predicate columns; the tail reloads
+        // price and discount for the region.
+        assert!(loads.contains(&layout.column_base(Column::ExtendedPrice)));
+        assert_eq!(
+            loads
+                .iter()
+                .filter(|&&a| a == layout.column_base(Column::Discount))
+                .count(),
+            2
+        );
     }
 }

@@ -4,7 +4,7 @@ use crate::report::{Arch, RunReport};
 use crate::session::Session;
 use crate::system::System;
 use crate::{host, neardata};
-use hipe_compiler::{LogicScanProgram, STOCK_HMC_OP};
+use hipe_compiler::{CompileError, LogicScanProgram, STOCK_HMC_OP};
 use hipe_db::Query;
 use hipe_isa::{MicroOp, OpSize};
 
@@ -18,6 +18,11 @@ use hipe_isa::{MicroOp, OpSize};
 /// the comparison is one new `Backend` implementation — the driver,
 /// benches and tests iterate [`Arch::ALL`] unchanged.
 ///
+/// Invalid inputs (e.g. a zero-row layout handed to the lowering
+/// functions directly) surface as a typed
+/// [`CompileError`](hipe_compiler::CompileError) from `compile` rather
+/// than a panic from inside the compiler.
+///
 /// `execute` expects the session in its reset state;
 /// [`Session::run_plan`] handles that and is the normal entry point.
 ///
@@ -29,7 +34,7 @@ use hipe_isa::{MicroOp, OpSize};
 ///
 /// let sys = System::new(1024, 3);
 /// let backend = System::backend(Arch::Hipe);
-/// let plan = backend.compile(&sys, &Query::q6());
+/// let plan = backend.compile(&sys, &Query::q6()).expect("a live system always compiles");
 /// let mut session = sys.session();
 /// let report = session.run_plan(&plan);
 /// assert_eq!(report.arch, Arch::Hipe);
@@ -39,7 +44,13 @@ pub trait Backend {
     fn arch(&self) -> Arch;
 
     /// Lowers `query` into this architecture's executable form.
-    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan;
+    ///
+    /// # Errors
+    ///
+    /// Returns the compiler's typed [`CompileError`] when the query
+    /// cannot be lowered (never for queries over a live [`System`],
+    /// whose layouts are non-empty by construction).
+    fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError>;
 
     /// Executes a compiled plan against the session's warm image.
     ///
@@ -57,6 +68,8 @@ pub(crate) enum PlanCode {
     /// baseline and HMC-ISA machines).
     Micro(Vec<MicroOp>),
     /// A logic-layer program posted to the in-cube engine (HIVE/HIPE).
+    /// Aggregate queries carry the fused aggregate tail unless the
+    /// backend was configured for the host-gather comparison path.
     Logic {
         program: LogicScanProgram,
         predicated: bool,
@@ -103,6 +116,16 @@ impl ExecutablePlan {
         }
     }
 
+    /// Returns `true` when the plan runs its aggregate fused inside
+    /// the logic layer (per-region partials read back over the links)
+    /// rather than as a host-side gather of matched tuples.
+    pub fn fused_aggregate(&self) -> bool {
+        match &self.code {
+            PlanCode::Micro(_) => false,
+            PlanCode::Logic { program, .. } => program.aggregate_base().is_some(),
+        }
+    }
+
     pub(crate) fn code(&self) -> &PlanCode {
         &self.code
     }
@@ -126,8 +149,8 @@ impl Backend for HostX86Backend {
         Arch::HostX86
     }
 
-    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
-        ExecutablePlan {
+    fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
+        Ok(ExecutablePlan {
             arch: Arch::HostX86,
             query: query.clone(),
             rows: sys.config().rows,
@@ -135,8 +158,8 @@ impl Backend for HostX86Backend {
                 query,
                 sys.layout(),
                 sys.mask_base(),
-            )),
-        }
+            )?),
+        })
     }
 
     fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
@@ -168,8 +191,8 @@ impl Backend for HmcIsaBackend {
         Arch::HmcIsa
     }
 
-    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
-        ExecutablePlan {
+    fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
+        Ok(ExecutablePlan {
             arch: Arch::HmcIsa,
             query: query.clone(),
             rows: sys.config().rows,
@@ -178,8 +201,8 @@ impl Backend for HmcIsaBackend {
                 sys.layout(),
                 sys.mask_base(),
                 self.op_size,
-            )),
-        }
+            )?),
+        })
     }
 
     fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
@@ -189,28 +212,64 @@ impl Backend for HmcIsaBackend {
 }
 
 /// HIVE: unpredicated logic-layer execution inside the cube.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct HiveBackend;
+///
+/// Aggregate queries compile to the fused `Mul`/`AddReduce` program by
+/// default; set `fused_aggregate: false` to keep the host-side gather
+/// (the paper's comparison point, and the path the x86/HMC-ISA
+/// machines always use).
+#[derive(Debug, Clone, Copy)]
+pub struct HiveBackend {
+    /// Run aggregates inside the logic layer (default) instead of
+    /// gathering matched tuples over the links.
+    pub fused_aggregate: bool,
+}
 
-/// HIPE: HIVE plus the predication match logic.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct HipeBackend;
+impl Default for HiveBackend {
+    fn default() -> Self {
+        HiveBackend {
+            fused_aggregate: true,
+        }
+    }
+}
 
-fn compile_logic(sys: &System, query: &Query, arch: Arch, predicated: bool) -> ExecutablePlan {
-    ExecutablePlan {
+/// HIPE: HIVE plus the predication match logic (which also squashes
+/// the whole fused-aggregate tail of matchless regions).
+#[derive(Debug, Clone, Copy)]
+pub struct HipeBackend {
+    /// Run aggregates inside the logic layer (default) instead of
+    /// gathering matched tuples over the links.
+    pub fused_aggregate: bool,
+}
+
+impl Default for HipeBackend {
+    fn default() -> Self {
+        HipeBackend {
+            fused_aggregate: true,
+        }
+    }
+}
+
+fn compile_logic(
+    sys: &System,
+    query: &Query,
+    arch: Arch,
+    predicated: bool,
+    fused_aggregate: bool,
+) -> Result<ExecutablePlan, CompileError> {
+    let program = if query.aggregates() && fused_aggregate {
+        hipe_compiler::lower_logic_aggregate(query, sys.layout(), sys.mask_base(), predicated)?
+    } else {
+        hipe_compiler::lower_logic_scan(query, sys.layout(), sys.mask_base(), predicated)?
+    };
+    Ok(ExecutablePlan {
         arch,
         query: query.clone(),
         rows: sys.config().rows,
         code: PlanCode::Logic {
-            program: hipe_compiler::lower_logic_scan(
-                query,
-                sys.layout(),
-                sys.mask_base(),
-                predicated,
-            ),
+            program,
             predicated,
         },
-    }
+    })
 }
 
 impl Backend for HiveBackend {
@@ -218,8 +277,8 @@ impl Backend for HiveBackend {
         Arch::Hive
     }
 
-    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
-        compile_logic(sys, query, Arch::Hive, false)
+    fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
+        compile_logic(sys, query, Arch::Hive, false, self.fused_aggregate)
     }
 
     fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
@@ -233,8 +292,8 @@ impl Backend for HipeBackend {
         Arch::Hipe
     }
 
-    fn compile(&self, sys: &System, query: &Query) -> ExecutablePlan {
-        compile_logic(sys, query, Arch::Hipe, true)
+    fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
+        compile_logic(sys, query, Arch::Hipe, true, self.fused_aggregate)
     }
 
     fn execute(&self, session: &mut Session<'_>, plan: &ExecutablePlan) -> RunReport {
@@ -259,7 +318,9 @@ mod tests {
         let sys = System::new(128, 1);
         let q = Query::q6();
         for arch in Arch::ALL {
-            let plan = System::backend(arch).compile(&sys, &q);
+            let plan = System::backend(arch)
+                .compile(&sys, &q)
+                .expect("live systems always compile");
             assert_eq!(plan.arch(), arch);
             assert_eq!(plan.query(), &q);
             assert_eq!(plan.rows(), 128);
@@ -273,10 +334,57 @@ mod tests {
     }
 
     #[test]
+    fn aggregates_fuse_on_the_logic_machines_only() {
+        let sys = System::new(256, 2);
+        let q6 = Query::q6();
+        for arch in Arch::ALL {
+            let plan = System::backend(arch)
+                .compile(&sys, &q6)
+                .expect("Q6 compiles");
+            let fused = matches!(arch, Arch::Hive | Arch::Hipe);
+            assert_eq!(plan.fused_aggregate(), fused, "{arch}");
+        }
+        // Non-aggregating queries never fuse.
+        let scan = Query::quantity_below_permille(100);
+        let plan = System::backend(Arch::Hipe)
+            .compile(&sys, &scan)
+            .expect("scan compiles");
+        assert!(!plan.fused_aggregate());
+        // The explicit host-gather configuration is preserved for the
+        // fused-vs-gather comparison experiments.
+        let host_gather = HipeBackend {
+            fused_aggregate: false,
+        };
+        let plan = host_gather.compile(&sys, &q6).expect("Q6 compiles");
+        assert!(!plan.fused_aggregate());
+    }
+
+    #[test]
+    fn fused_plans_carry_the_aggregate_tail() {
+        let sys = System::new(256, 2);
+        let fused = System::backend(Arch::Hive)
+            .compile(&sys, &Query::q6())
+            .expect("Q6 compiles");
+        let gather = HiveBackend {
+            fused_aggregate: false,
+        }
+        .compile(&sys, &Query::q6())
+        .expect("Q6 compiles");
+        // Five tail instructions per 32-row region, plus the zero and
+        // flush of the single 32-region partial group.
+        assert_eq!(
+            fused.instructions(),
+            gather.instructions() + 5 * 256usize.div_ceil(hipe_compiler::REGION_ROWS) + 2
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "executed on the")]
     fn executing_a_foreign_plan_panics() {
         let sys = System::new(64, 2);
-        let plan = System::backend(Arch::Hive).compile(&sys, &Query::q6());
+        let plan = System::backend(Arch::Hive)
+            .compile(&sys, &Query::q6())
+            .expect("Q6 compiles");
         let mut session = sys.session();
         let _ = System::backend(Arch::Hipe).execute(&mut session, &plan);
     }

@@ -15,6 +15,10 @@ use hipe_hmc::{AccessKind, Hmc};
 use hipe_isa::{MicroOp, MicroOpKind, OpSize, VaultOp};
 use hipe_sim::Cycle;
 
+/// Link payload bytes of one partial-readback packet: up to one row
+/// buffer of 8 B partial-sum slots per read.
+const READBACK_PACKET_BYTES: u64 = 256;
+
 /// Emits the gather/multiply/accumulate stream for every set bit of
 /// `mask` onto `core`, routing the value loads through `port`.
 pub(crate) fn emit<P: MemoryPort>(core: &mut Core, port: &mut P, sys: &System, mask: &Bitmask) {
@@ -39,6 +43,36 @@ pub(crate) fn emit<P: MemoryPort>(core: &mut Core, port: &mut P, sys: &System, m
         // tuple's accumulate is four ops back in the dynamic stream).
         core.execute(MicroOp::new(MicroOpKind::IntMul).with_deps(1, 2), port);
         core.execute(MicroOp::new(MicroOpKind::IntAlu).with_deps(1, 4), port);
+    }
+}
+
+/// Emits the fused path's gather phase: the per-region partial sums
+/// stored by the logic-layer aggregate tail are read back in row-
+/// buffer-sized link packets and folded into the final sum by a
+/// dependent accumulate chain — a few packets instead of a per-tuple
+/// gather.
+pub(crate) fn emit_partial_readback<P: MemoryPort>(
+    core: &mut Core,
+    port: &mut P,
+    agg_base: u64,
+    agg_bytes: u64,
+) {
+    let mut addr = agg_base;
+    let end = agg_base + agg_bytes;
+    while addr < end {
+        let bytes = (end - addr).min(READBACK_PACKET_BYTES);
+        core.execute(MicroOp::new(MicroOpKind::Load { addr, bytes }), port);
+        // One accumulate per 8 B slot: the first of a packet consumes
+        // the packet's load and the previous packet's running sum, the
+        // rest chain on their predecessor.
+        for slot in 0..bytes / hipe_compiler::AGG_SLOT_BYTES {
+            let deps = if slot == 0 { (1, 2) } else { (1, 0) };
+            core.execute(
+                MicroOp::new(MicroOpKind::IntAlu).with_deps(deps.0, deps.1),
+                port,
+            );
+        }
+        addr += bytes;
     }
 }
 

@@ -198,7 +198,7 @@ mod tests {
         let wide_backend = HmcIsaBackend {
             op_size: OpSize::MAX,
         };
-        let plan = wide_backend.compile(&sys, &q);
+        let plan = wide_backend.compile(&sys, &q).expect("scan compiles");
         let mut session = sys.session();
         session.reset();
         let wide = wide_backend.execute(&mut session, &plan);

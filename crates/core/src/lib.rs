@@ -30,7 +30,13 @@
 //! 1. [`System::backend`] resolves an [`Arch`] label to its stateless
 //!    [`Backend`];
 //! 2. [`Backend::compile`] lowers a query into an [`ExecutablePlan`]
-//!    (once per query, reusable);
+//!    (once per query, reusable); invalid inputs surface as a typed
+//!    [`CompileError`] instead of a panic. On HIVE/HIPE, aggregate
+//!    queries compile to the *fused* program — the logic layer
+//!    multiplies and reduces matched values next to the banks and the
+//!    host only reads back per-region partial sums, instead of
+//!    gathering every matched tuple over the links (the path the
+//!    host-driven machines keep);
 //! 3. a [`Session`] — opened with [`System::session`] — owns one warm,
 //!    materialized cube image and executes plans against it, applying
 //!    a reset protocol between runs so warm results are bit- and
@@ -76,6 +82,7 @@ mod system;
 pub use backend::{
     Backend, ExecutablePlan, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Backend,
 };
+pub use hipe_compiler::CompileError;
 pub use report::{Arch, PhaseBreakdown, RunReport};
 pub use session::Session;
 pub use system::{System, SystemConfig};

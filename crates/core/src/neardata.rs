@@ -1,4 +1,10 @@
 //! The near-data executor: HIVE and HIPE logic-layer execution.
+//!
+//! Aggregate queries run *fused* by default: the compiled program's
+//! per-region tail multiplies and reduces the matched values inside
+//! the logic layer, and the host only reads back the compact partial
+//! sums (timed as the `gather_aggregate` phase). Plans compiled with
+//! `fused_aggregate: false` keep the per-tuple host gather instead.
 
 use crate::backend::{ExecutablePlan, PlanCode};
 use crate::gather;
@@ -6,6 +12,7 @@ use crate::report::{PhaseBreakdown, RunReport};
 use crate::session::Session;
 use hipe_compiler::{LogicScanProgram, REGION_ROWS};
 use hipe_cpu::{Core, MemoryPort};
+use hipe_db::scan::ScanResult;
 use hipe_db::Bitmask;
 use hipe_hmc::Hmc;
 use hipe_isa::{LogicInstr, MicroOp, MicroOpKind, OpSize, VaultOp};
@@ -132,18 +139,40 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
 
     let bitmask = read_mask(session.hmc(), program, sys.layout().rows());
 
-    // Host-side aggregate gather: the matched values cross the serial
-    // links uncached.
+    // Aggregate phase. The fused path reads back and combines the
+    // engine-stored per-region partials — a few link packets; the
+    // host-gather path (x86/HMC-ISA style, kept on the logic machines
+    // for the paper's comparison) fetches every matched tuple's values
+    // over the serial links uncached.
     if query.aggregates() {
         let mut port = gather::UncachedPort {
             hmc: session.hmc_mut(),
         };
-        gather::emit(&mut core, &mut port, sys, &bitmask);
+        if let Some(agg_base) = program.aggregate_base() {
+            gather::emit_partial_readback(&mut core, &mut port, agg_base, program.agg_bytes());
+        } else {
+            gather::emit(&mut core, &mut port, sys, &bitmask);
+        }
     }
     let cycles = core.finish();
 
     let hmc = session.hmc_mut();
-    let result = sys.finish_result(hmc, query, bitmask);
+    let result = if program.aggregate_base().is_some() {
+        // The functional aggregate comes from the partials the engine
+        // actually stored, so the fused path is checked bit for bit
+        // against the reference executor like everything else.
+        let matches = bitmask.count_ones();
+        let aggregate = (0..program.regions())
+            .map(|i| hmc.read_u64(program.agg_addr(i)) as i64 as i128)
+            .sum();
+        ScanResult {
+            bitmask,
+            matches,
+            aggregate: Some(aggregate),
+        }
+    } else {
+        sys.finish_result(hmc, query, bitmask)
+    };
     hmc.finish(cycles);
 
     RunReport {
@@ -226,6 +255,39 @@ mod tests {
         // Only instruction packets and the ack cross the links: far less
         // than the 8 B/row the baseline must move.
         assert!(report.hmc.link_bytes < 4096 * 8 / 2);
+    }
+
+    #[test]
+    fn fused_aggregate_matches_reference_and_reads_back_partials() {
+        let sys = System::new(3000, 36);
+        let q = Query::q6();
+        for predicated in [false, true] {
+            let report = run(&sys, predicated, &q);
+            // The aggregate is reconstructed from the partials the
+            // engine stored — bit-identical to the reference executor.
+            assert_eq!(report.result, scan::reference(sys.table(), &q));
+            // The readback is timed as the gather phase.
+            assert!(report.phases.gather_aggregate > 0);
+            let engine = report.engine.expect("logic path has an engine");
+            // Scan ALUs plus one Mul and one AddReduce per live region.
+            assert!(engine.alu_ops > 0);
+        }
+    }
+
+    #[test]
+    fn squashed_aggregate_tails_leave_zero_partials() {
+        // A matchless aggregate: every region squashes its tail (HIPE),
+        // and the combined sum is exactly zero on both machines.
+        let sys = System::new(2048, 37);
+        let q = Query::quantity_below_permille(0).with_aggregate();
+        let hive = run(&sys, false, &q);
+        let hipe = run(&sys, true, &q);
+        assert_eq!(hive.result.aggregate, Some(0));
+        assert_eq!(hipe.result.aggregate, Some(0));
+        assert_eq!(hive.result, hipe.result);
+        assert!(hipe.engine.expect("engine stats").squashed > 0);
+        // HIPE's squashed tails skip the price/discount loads.
+        assert!(hipe.hmc.bytes_read < hive.hmc.bytes_read);
     }
 
     #[test]

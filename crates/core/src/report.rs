@@ -105,6 +105,10 @@ impl RunReport {
     }
 
     /// Fraction of tuples selected by the scan.
+    ///
+    /// Defined as 0.0 over an empty table (no division by the zero
+    /// row count), so [`Display`](std::fmt::Display)'s percentage is
+    /// never NaN.
     pub fn selectivity(&self) -> f64 {
         if self.result.bitmask.is_empty() {
             0.0
@@ -166,6 +170,18 @@ mod tests {
         let b = dummy(Arch::Hipe, 250, 2);
         assert_eq!(b.speedup_over(&a), 4.0);
         assert_eq!(a.selectivity(), 0.02);
+    }
+
+    #[test]
+    fn empty_table_selectivity_is_zero_not_nan() {
+        // Regression: an all-empty bitmask (zero rows) must not divide
+        // by zero — selectivity is defined as 0.0 and the Display
+        // percentage stays finite.
+        let mut r = dummy(Arch::Hipe, 10, 0);
+        r.result.bitmask = Bitmask::zeros(0);
+        assert_eq!(r.selectivity(), 0.0);
+        assert!(!r.selectivity().is_nan());
+        assert!(r.to_string().contains("(0.00 %)"), "display: {r}");
     }
 
     #[test]

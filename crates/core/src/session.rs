@@ -80,8 +80,15 @@ impl<'a> Session<'a> {
     }
 
     /// Compiles and executes `query` on `arch` against the warm image.
+    ///
+    /// Compile errors cannot occur here: a live [`System`] always has
+    /// at least one row, which is the only way a query over it could
+    /// fail to lower. (Driving a [`Backend`](crate::Backend) by hand
+    /// exposes the typed error.)
     pub fn run(&mut self, arch: Arch, query: &Query) -> RunReport {
-        let plan = System::backend(arch).compile(self.sys, query);
+        let plan = System::backend(arch)
+            .compile(self.sys, query)
+            .expect("queries over a live system always compile");
         self.run_plan(&plan)
     }
 

@@ -4,7 +4,7 @@ use crate::backend::{Backend, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Ba
 use crate::report::{Arch, RunReport};
 use crate::session::Session;
 use hipe_cache::HierarchyConfig;
-use hipe_compiler::{REGION_ROWS, STOCK_HMC_OP};
+use hipe_compiler::{aggregate_area_bytes, REGION_ROWS, STOCK_HMC_OP};
 use hipe_cpu::CoreConfig;
 use hipe_db::scan::ScanResult;
 use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query};
@@ -110,10 +110,15 @@ impl System {
         let table = LineitemTable::generate(cfg.rows, cfg.seed);
         let layout = DsmLayout::new(0, cfg.rows);
         // The mask area follows the table; DSM column strides are 256 B
-        // aligned, so `layout.bytes()` already is too.
+        // aligned, so `layout.bytes()` already is too. The fused
+        // aggregate's per-region 8 B partial-sum slots sit right after
+        // the mask area (both are part of the session reset protocol's
+        // zeroed output region).
         let mask_base = layout.bytes();
         let regions = cfg.rows.div_ceil(REGION_ROWS);
-        let image_len = (mask_base + regions as u64 * OpSize::MAX.bytes()) as usize;
+        let image_len = (mask_base
+            + regions as u64 * OpSize::MAX.bytes()
+            + aggregate_area_bytes(cfg.rows)) as usize;
         System {
             cfg,
             table,
@@ -135,8 +140,12 @@ impl System {
             Arch::HmcIsa => &HmcIsaBackend {
                 op_size: STOCK_HMC_OP,
             },
-            Arch::Hive => &HiveBackend,
-            Arch::Hipe => &HipeBackend,
+            Arch::Hive => &HiveBackend {
+                fused_aggregate: true,
+            },
+            Arch::Hipe => &HipeBackend {
+                fused_aggregate: true,
+            },
         }
     }
 
@@ -227,12 +236,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn image_covers_table_and_mask() {
+    fn image_covers_table_mask_and_partials() {
         let sys = System::new(100, 1);
-        // 4 columns x 1 stride each + 4 mask regions.
+        // 4 columns x 1 stride each + 4 mask regions + one 256 B row
+        // of partial-sum slots (4 regions fit in a single row).
         let stride = 100u64.div_ceil(32) * 256;
         assert_eq!(sys.mask_base(), 4 * stride);
-        assert_eq!(sys.fresh_hmc().image_len() as u64, 4 * stride + 4 * 256);
+        assert_eq!(
+            sys.fresh_hmc().image_len() as u64,
+            4 * stride + 4 * 256 + 256
+        );
     }
 
     #[test]

@@ -125,17 +125,71 @@ impl Bitmask {
 
     /// Returns `true` if any bit in tuple range `[start, end)` is set.
     ///
+    /// Scans whole 64-bit words (with the boundary words masked) so a
+    /// sparse or empty range costs `O(words)`, not one call per bit.
+    ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds or inverted.
     pub fn any_in(&self, start: usize, end: usize) -> bool {
         assert!(start <= end && end <= self.len, "range out of bounds");
-        (start..end).any(|i| self.get(i))
+        if start == end {
+            return false;
+        }
+        let (first, last) = (start / 64, (end - 1) / 64);
+        let head = !0u64 << (start % 64);
+        let tail = !0u64 >> (63 - (end - 1) % 64);
+        if first == last {
+            return self.words[first] & head & tail != 0;
+        }
+        self.words[first] & head != 0
+            || self.words[first + 1..last].iter().any(|&w| w != 0)
+            || self.words[last] & tail != 0
     }
 
-    /// Iterates over the indices of set bits.
-    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+    /// Iterates over the indices of set bits, in ascending order.
+    ///
+    /// Word-level `trailing_zeros` scanning: all-zero words cost one
+    /// comparison each, so iterating a near-empty mask is `O(words +
+    /// ones)` rather than `O(len)` — this is the hot path of the
+    /// host-side aggregate gather at low selectivity.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`Bitmask`]; see
+/// [`Bitmask::iter_ones`].
+///
+/// Relies on the mask's invariant that bits past `len` in the last
+/// word are always zero.
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    /// Index of the word `bits` was taken from.
+    word: usize,
+    /// Unconsumed set bits of the current word.
+    bits: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.word += 1;
+            if self.word >= self.words.len() {
+                return None;
+            }
+            self.bits = self.words[self.word];
+        }
+        let bit = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.word * 64 + bit)
     }
 }
 
@@ -202,6 +256,56 @@ mod tests {
         assert!(m.any_in(96, 128));
         assert!(!m.any_in(0, 96));
         assert!(!m.any_in(50, 50));
+    }
+
+    #[test]
+    fn any_in_matches_per_bit_scan_on_all_boundaries() {
+        // Word-level scanning must agree with the naive per-bit loop
+        // for every (start, end) pair, including word-straddling and
+        // word-interior ranges.
+        let mut m = Bitmask::zeros(200);
+        for i in [0, 63, 64, 65, 127, 128, 190, 199] {
+            m.set(i);
+        }
+        for start in 0..=200 {
+            for end in start..=200 {
+                let naive = (start..end).any(|i| m.get(i));
+                assert_eq!(m.any_in(start, end), naive, "range [{start}, {end})");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_per_bit_scan() {
+        for (len, bits) in [
+            (1usize, vec![0usize]),
+            (64, vec![]),
+            (64, vec![0, 63]),
+            (65, vec![64]),
+            (130, vec![1, 63, 64, 65, 127, 128, 129]),
+            (200, vec![199]),
+        ] {
+            let mut m = Bitmask::zeros(len);
+            for &b in &bits {
+                m.set(b);
+            }
+            let naive: Vec<usize> = (0..len).filter(|&i| m.get(i)).collect();
+            assert_eq!(m.iter_ones().collect::<Vec<_>>(), naive, "len {len}");
+            assert_eq!(naive, bits);
+        }
+        // Empty and full masks.
+        assert_eq!(Bitmask::zeros(777).iter_ones().count(), 0);
+        assert!(Bitmask::ones(777).iter_ones().eq(0..777));
+        assert_eq!(Bitmask::zeros(0).iter_ones().next(), None);
+    }
+
+    #[test]
+    fn iter_ones_skips_zero_words_cheaply() {
+        // A one-in-a-million mask iterates in a handful of word reads;
+        // functionally it must still find exactly the set bit.
+        let mut m = Bitmask::zeros(1 << 20);
+        m.set(999_999);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![999_999]);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod query;
 mod rng;
 pub mod scan;
 
-pub use bitmask::Bitmask;
+pub use bitmask::{Bitmask, IterOnes};
 pub use layout::{DsmLayout, NsmLayout, COLUMN_BYTES, NSM_FIELDS, TUPLE_BYTES};
 pub use lineitem::{Column, LineitemTable, SF1_ROWS};
 pub use query::{CmpOp, ColumnPredicate, Query};

@@ -141,6 +141,23 @@ impl Query {
         )
     }
 
+    /// Adds the `SUM(l_extendedprice * l_discount)` aggregate to this
+    /// query (builder-style), turning a counting scan into a Q6-shaped
+    /// aggregate at the same selectivity — the knob the aggregate
+    /// selectivity sweep is built from.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hipe_db::Query;
+    /// let q = Query::quantity_below_permille(30).with_aggregate();
+    /// assert!(q.aggregates());
+    /// ```
+    pub fn with_aggregate(mut self) -> Self {
+        self.aggregate = true;
+        self
+    }
+
     /// The conjuncts in evaluation order.
     pub fn predicates(&self) -> &[ColumnPredicate] {
         &self.predicates

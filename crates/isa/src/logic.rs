@@ -86,9 +86,23 @@ pub enum AluOp {
     Sub,
     /// Lane-wise multiplication (used by the fused-aggregate extension).
     Mul,
-    /// Horizontal sum of all lanes of `a` into lane 0 of the result
+    /// Horizontal sum of all lanes of `a` into lane `lane` of `dst`
     /// (aggregate extension; reduction tree, multiply-class latency).
-    AddReduce,
+    /// With a second register operand it reduces the lane-wise
+    /// products `a[i] * b[i]` instead — the fused dot product the
+    /// near-data aggregate tail uses to fold the 0/1 match mask into
+    /// a partial sum in a single operation.
+    ///
+    /// Unlike the other ALU operations this *merges* into the
+    /// destination: lanes other than `lane` keep their previous value,
+    /// so a long-lived register can collect one partial per region and
+    /// be flushed to memory as a single row-buffer store per 32
+    /// regions (the reduction tree's output mux selects the write
+    /// lane; the bank read-modify-writes the register).
+    AddReduce {
+        /// Destination lane of the reduced sum, `0..32`.
+        lane: u8,
+    },
     /// Fused conjunction over row-store tuples: the register holds
     /// tuples of `stride` consecutive 8-byte fields; output lane `t`
     /// is 1 when every [`FieldRange`] of tuple `t` passes. This is the
@@ -106,7 +120,13 @@ pub enum AluOp {
 impl AluOp {
     /// Returns `true` for multiply-class latencies.
     pub fn is_mul_class(self) -> bool {
-        matches!(self, AluOp::Mul | AluOp::AddReduce)
+        matches!(self, AluOp::Mul | AluOp::AddReduce { .. })
+    }
+
+    /// Returns `true` if the operation merges into its destination
+    /// (reads `dst`'s previous lanes instead of overwriting them all).
+    pub fn merges_dst(self) -> bool {
+        matches!(self, AluOp::AddReduce { .. })
     }
 
     /// Builds a [`AluOp::TupleMatch`] from up to three field ranges.

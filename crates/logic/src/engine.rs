@@ -171,6 +171,12 @@ impl Engine {
                     start = start.max(self.bank.ready(rb));
                 }
                 start = start.max(self.bank.last_consumed(dst));
+                if op.merges_dst() {
+                    // Read-modify-write: the previous destination lanes
+                    // are a true source operand.
+                    start = start.max(self.bank.ready(dst));
+                    self.bank.consume(dst, start);
+                }
                 self.bank.consume(a, start);
                 if let Some(rb) = b {
                     self.bank.consume(rb, start);
@@ -185,6 +191,7 @@ impl Engine {
                     op,
                     self.bank.lanes(a),
                     b.map(|rb| *self.bank.lanes(rb)),
+                    *self.bank.lanes(dst),
                     size,
                 );
                 self.bank.write(dst, value, end);
@@ -221,8 +228,15 @@ fn write_lanes(hmc: &mut Hmc, addr: u64, size: OpSize, lanes: &[i64; LANES]) {
     hmc.write_bytes(addr, &buf);
 }
 
-/// Lane-wise functional evaluation.
-fn eval_alu(op: AluOp, a: &[i64; LANES], b: Option<[i64; LANES]>, size: OpSize) -> [i64; LANES] {
+/// Lane-wise functional evaluation. `dst` holds the destination's
+/// previous lanes, consumed by the merging operations.
+fn eval_alu(
+    op: AluOp,
+    a: &[i64; LANES],
+    b: Option<[i64; LANES]>,
+    dst: [i64; LANES],
+    size: OpSize,
+) -> [i64; LANES] {
     let mut out = [0i64; LANES];
     let n = size.lanes();
     match op {
@@ -245,8 +259,16 @@ fn eval_alu(op: AluOp, a: &[i64; LANES], b: Option<[i64; LANES]>, size: OpSize) 
                 };
             }
         }
-        AluOp::AddReduce => {
-            out[0] = a.iter().take(n).fold(0i64, |acc, &v| acc.wrapping_add(v));
+        AluOp::AddReduce { lane } => {
+            assert!((lane as usize) < LANES, "reduce lane out of range");
+            // Merge: untouched lanes keep the destination's value.
+            out = dst;
+            out[lane as usize] = match b {
+                // Dot-product form: reduce the lane-wise products
+                // (the aggregate tail passes the 0/1 match mask here).
+                Some(b) => (0..n).fold(0i64, |acc, i| acc.wrapping_add(a[i].wrapping_mul(b[i]))),
+                None => a.iter().take(n).fold(0i64, |acc, &v| acc.wrapping_add(v)),
+            };
         }
         AluOp::TupleMatch { fields, stride } => {
             let stride = stride as usize;
@@ -541,7 +563,7 @@ mod tests {
         eng.execute(
             &mut hmc,
             LogicInstr::Alu {
-                op: AluOp::AddReduce,
+                op: AluOp::AddReduce { lane: 0 },
                 dst: r(1),
                 a: r(0),
                 b: None,
@@ -551,5 +573,87 @@ mod tests {
             0,
         );
         assert_eq!(eng.bank().lane(r(1), 0), 64);
+    }
+
+    #[test]
+    fn add_reduce_dots_against_a_mask_register() {
+        let (mut hmc, mut eng) = setup(false);
+        // Products at lanes 0..32 are 100 + i; mask selects even lanes.
+        for i in 0..32u64 {
+            hmc.write_u64(i * 8, 100 + i);
+            hmc.write_u64(4096 + i * 8, (i % 2 == 0) as u64);
+        }
+        eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(&mut hmc, load(1, 4096), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::AddReduce { lane: 0 },
+                dst: r(2),
+                a: r(0),
+                b: Some(r(1)),
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        let expect: i64 = (0..32).filter(|i| i % 2 == 0).map(|i| 100 + i).sum();
+        assert_eq!(eng.bank().lane(r(2), 0), expect);
+        // Lane 1 and beyond stay zero: a 16 B store of the result
+        // writes [sum, 0].
+        assert_eq!(eng.bank().lane(r(2), 1), 0);
+    }
+
+    #[test]
+    fn masked_aggregate_tail_round_trips_a_16_byte_partial() {
+        // The fused tail end to end at engine level: price * discount
+        // dotted against a 0/1 mask, stored as a 16 B partial slot.
+        let (mut hmc, mut eng) = setup(false);
+        for i in 0..32u64 {
+            hmc.write_u64(i * 8, 1000 + i); // price
+            hmc.write_u64(4096 + i * 8, 5); // discount
+            hmc.write_u64(8192 + i * 8, (i < 3) as u64); // mask
+        }
+        eng.execute(&mut hmc, load(0, 0), 0);
+        eng.execute(&mut hmc, load(1, 4096), 0);
+        eng.execute(&mut hmc, load(2, 8192), 0);
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::Mul,
+                dst: r(0),
+                a: r(0),
+                b: Some(r(1)),
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        eng.execute(
+            &mut hmc,
+            LogicInstr::Alu {
+                op: AluOp::AddReduce { lane: 0 },
+                dst: r(3),
+                a: r(0),
+                b: Some(r(2)),
+                size: SIZE,
+                pred: None,
+            },
+            0,
+        );
+        let st = eng.execute(
+            &mut hmc,
+            LogicInstr::Store {
+                src: r(3),
+                addr: 12288,
+                size: OpSize::new(16).expect("16 B is supported"),
+                pred: None,
+            },
+            0,
+        );
+        assert!(st.performed);
+        let expect: u64 = (0..3).map(|i| (1000 + i) * 5).sum();
+        assert_eq!(hmc.read_u64(12288), expect);
+        assert_eq!(hmc.read_u64(12296), 0);
     }
 }

@@ -127,7 +127,7 @@ fn plans_compile_once_and_rerun() {
     let sys = System::new(ROWS, SEED);
     let q = Query::q6();
     let backend = System::backend(Arch::Hipe);
-    let plan = backend.compile(&sys, &q);
+    let plan = backend.compile(&sys, &q).expect("Q6 compiles");
     assert_eq!(plan.arch(), Arch::Hipe);
     assert_eq!(plan.rows(), ROWS);
     let mut session = sys.session();
@@ -142,6 +142,8 @@ fn plans_compile_once_and_rerun() {
 fn foreign_plans_are_rejected() {
     let small = System::new(64, 1);
     let big = System::new(128, 1);
-    let plan = System::backend(Arch::Hipe).compile(&small, &Query::q6());
+    let plan = System::backend(Arch::Hipe)
+        .compile(&small, &Query::q6())
+        .expect("Q6 compiles");
     let _ = big.session().run_plan(&plan);
 }
