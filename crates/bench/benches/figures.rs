@@ -1,4 +1,5 @@
-//! Paper-figure sweep: all four machines over scan selectivities.
+//! Paper-figure sweep: all four machines over scan selectivities,
+//! plus the partitioned-execution sweep.
 //!
 //! Reproduces the shape of the paper's evaluation on the select-scan
 //! workload: for each selectivity point the same query runs end to end
@@ -9,10 +10,18 @@
 //! time per point (the quantity the `components` benchmarks bound from
 //! below).
 //!
-//! Besides the human-readable table, the sweep is written to
+//! A second sweep (`par_1` / `par_2` / `par_4` / `par_8`) runs Q6 on
+//! HIVE and HIPE with that many vault-group engines, showing the
+//! near-linear scan-phase scaling and the knee where the shared link
+//! and readback bandwidth takes over. Each partition count is its own
+//! `System` (the partitioned layout pads areas to vault sweeps), so
+//! each pays one materialization.
+//!
+//! Besides the human-readable table, both sweeps are written to
 //! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
 //! the performance trajectory of the simulator is machine-checkable
-//! across PRs.
+//! across PRs (`check_figures` validates the schema, including that
+//! `par_*` cycles fall monotonically with the engine count).
 //!
 //! Run with `cargo bench -p hipe-bench --bench figures`; scale the
 //! table with `HIPE_BENCH_ROWS`.
@@ -99,6 +108,49 @@ fn main() {
         json_points.push(json_point(name, query, &reports, wall.as_secs_f64() * 1e3));
     }
     assert_eq!(sys.materializations(), 1, "the sweep re-materialized");
+
+    // Partition sweep: Q6 on the logic machines with 1/2/4/8
+    // vault-group engines. Only HIVE/HIPE appear in these rows — the
+    // host-driven machines have no engine cluster to partition.
+    println!("# partitioned Q6 sweep (HIVE/HIPE, one system per engine count)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "point", "hive_scan", "hive_cyc", "hipe_scan", "hipe_cyc", "speedup"
+    );
+    let q6 = Query::q6();
+    let mut hipe_scan_1 = 0;
+    for n in [1usize, 2, 4, 8] {
+        let psys = System::partitioned(rows, SEED, n);
+        let start = Instant::now();
+        let mut psession = psys.session();
+        let reports: Vec<RunReport> = [Arch::Hive, Arch::Hipe]
+            .iter()
+            .map(|&arch| psession.run(arch, &q6))
+            .collect();
+        let wall = start.elapsed();
+        let [hive, hipe] = &reports[..] else {
+            unreachable!("one report per logic machine");
+        };
+        assert_eq!(
+            hive.result.bitmask, hipe.result.bitmask,
+            "logic machines diverged at {n} partitions"
+        );
+        assert_eq!(psys.materializations(), 1);
+        if n == 1 {
+            hipe_scan_1 = hipe.phases.scan;
+        }
+        let name = format!("par_{n}");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>7.2}x",
+            name,
+            hive.phases.scan,
+            hive.cycles,
+            hipe.phases.scan,
+            hipe.cycles,
+            hipe_scan_1 as f64 / hipe.phases.scan.max(1) as f64,
+        );
+        json_points.push(json_point(&name, &q6, &reports, wall.as_secs_f64() * 1e3));
+    }
 
     // Default next to the workspace root regardless of the bench CWD.
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {

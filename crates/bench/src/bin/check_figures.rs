@@ -6,7 +6,11 @@
 //! sweep (the `agg_*` points plus `q6`) to be present with all four
 //! architectures and non-empty phase breakdowns, so a regression that
 //! silently drops the fused-aggregate rows (or zeroes their cycles)
-//! cannot pass CI.
+//! cannot pass CI. The partitioned-execution sweep (`par_1` through
+//! `par_8`, HIVE/HIPE only) is validated for presence and for
+//! *monotonically non-increasing* cycles and scan ends as the engine
+//! count grows — a regression that makes more engines slower fails
+//! the pipeline.
 //!
 //! Usage: run the `figures` bench first, then
 //! `cargo run -p hipe-bench --bin check_figures`. The file location
@@ -19,11 +23,19 @@
 
 use std::process::ExitCode;
 
-/// The architecture labels every point must report, in sweep order.
+/// The architecture labels every selectivity point must report, in
+/// sweep order.
 const ARCHS: [&str; 4] = ["x86", "HMC-ISA", "HIVE", "HIPE"];
 
 /// Point names that make up the aggregate sweep.
 const AGGREGATE_POINTS: [&str; 4] = ["agg_2%", "agg_10%", "agg_50%", "q6"];
+
+/// The logic machines the partition sweep reports.
+const LOGIC_ARCHS: [&str; 2] = ["HIVE", "HIPE"];
+
+/// Point names of the partitioned-execution sweep, in engine-count
+/// order (cycles must not increase along this list).
+const PARTITION_POINTS: [&str; 4] = ["par_1", "par_2", "par_4", "par_8"];
 
 fn main() -> ExitCode {
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
@@ -86,7 +98,13 @@ fn check(text: &str) -> Result<usize, String> {
     }
 
     for (name, block) in &blocks {
-        for arch in ARCHS {
+        // Partition-sweep points carry only the logic machines.
+        let archs: &[&str] = if name.starts_with("par_") {
+            &LOGIC_ARCHS
+        } else {
+            &ARCHS
+        };
+        for &arch in archs {
             let cycles = arch_field(block, arch, "cycles")
                 .ok_or_else(|| format!("point {name}: arch {arch} missing or lacks cycles"))?;
             let scan = arch_field(block, arch, "scan_end")
@@ -112,6 +130,31 @@ fn check(text: &str) -> Result<usize, String> {
             }
         }
     }
+
+    // Partition sweep: all four engine counts present, and on both
+    // logic machines scan ends and total cycles fall monotonically
+    // (non-increasing) with the engine count.
+    for arch in LOGIC_ARCHS {
+        let mut prev = (u64::MAX, u64::MAX);
+        for wanted in PARTITION_POINTS {
+            let (_, block) = blocks
+                .iter()
+                .find(|(name, _)| name == wanted)
+                .ok_or_else(|| format!("partition sweep point {wanted} missing"))?;
+            let cycles = arch_field(block, arch, "cycles")
+                .ok_or_else(|| format!("point {wanted}: arch {arch} lacks cycles"))?;
+            let scan = arch_field(block, arch, "scan_end")
+                .ok_or_else(|| format!("point {wanted}: arch {arch} lacks scan_end"))?;
+            if scan > prev.0 || cycles > prev.1 {
+                return Err(format!(
+                    "point {wanted}: {arch} got slower with more engines \
+                     (scan {} -> {scan}, cycles {} -> {cycles})",
+                    prev.0, prev.1
+                ));
+            }
+            prev = (scan, cycles);
+        }
+    }
     Ok(blocks.len())
 }
 
@@ -129,36 +172,64 @@ fn arch_field(block: &str, arch: &str, field: &str) -> Option<u64> {
 mod tests {
     use super::*;
 
-    fn doc(gather_q6: u64) -> String {
-        let point = |name: &str, gather: u64| {
-            let archs: Vec<String> = ARCHS
-                .iter()
-                .map(|a| {
-                    format!(
-                        "\"{a}\": {{\"cycles\": 100, \"dispatch_end\": 1, \"scan_end\": 90, \
-                         \"gather_cycles\": {gather}}}"
-                    )
-                })
-                .collect();
-            format!(
-                "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
-                archs.join(", ")
-            )
-        };
+    fn four_arch_point(name: &str, gather: u64) -> String {
+        let archs: Vec<String> = ARCHS
+            .iter()
+            .map(|a| {
+                format!(
+                    "\"{a}\": {{\"cycles\": 100, \"dispatch_end\": 1, \"scan_end\": 90, \
+                     \"gather_cycles\": {gather}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+            archs.join(", ")
+        )
+    }
+
+    fn par_point(name: &str, cycles: u64) -> String {
+        let archs: Vec<String> = LOGIC_ARCHS
+            .iter()
+            .map(|a| {
+                format!(
+                    "\"{a}\": {{\"cycles\": {cycles}, \"dispatch_end\": 1, \
+                     \"scan_end\": {}, \"gather_cycles\": 5}}",
+                    cycles - 10
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+            archs.join(", ")
+        )
+    }
+
+    fn doc_with(gather_q6: u64, par_cycles: [u64; 4]) -> String {
+        let mut points = vec![
+            four_arch_point("sel_2%", 0),
+            four_arch_point("agg_2%", 7),
+            four_arch_point("agg_10%", 7),
+            four_arch_point("agg_50%", 7),
+            four_arch_point("q6", gather_q6),
+        ];
+        for (name, cycles) in PARTITION_POINTS.iter().zip(par_cycles) {
+            points.push(par_point(name, cycles));
+        }
         format!(
             "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
-             \"points\": [{}, {}, {}, {}, {}]}}",
-            point("sel_2%", 0),
-            point("agg_2%", 7),
-            point("agg_10%", 7),
-            point("agg_50%", 7),
-            point("q6", gather_q6),
+             \"points\": [{}]}}",
+            points.join(", ")
         )
+    }
+
+    fn doc(gather_q6: u64) -> String {
+        doc_with(gather_q6, [800, 400, 200, 100])
     }
 
     #[test]
     fn accepts_a_complete_document() {
-        assert_eq!(check(&doc(10)), Ok(5));
+        assert_eq!(check(&doc(10)), Ok(9));
     }
 
     #[test]
@@ -174,8 +245,29 @@ mod tests {
 
     #[test]
     fn rejects_missing_arch() {
-        let text = doc(10).replace("\"HIVE\": {", "\"hive\": {");
+        let text = doc(10).replace("\"HIVE\": {\"cycles\": 100", "\"hive\": {\"cycles\": 100");
         assert!(check(&text).unwrap_err().contains("HIVE"));
+    }
+
+    #[test]
+    fn rejects_missing_partition_points() {
+        let text = doc(10).replace("par_4", "par_5");
+        assert!(check(&text).unwrap_err().contains("par_4"));
+    }
+
+    #[test]
+    fn rejects_more_engines_getting_slower() {
+        // par_4 slower than par_2: the partition win regressed.
+        let text = doc_with(10, [800, 400, 500, 100]);
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("par_4") && err.contains("slower"), "{err}");
+    }
+
+    #[test]
+    fn accepts_flat_partition_scaling() {
+        // Non-increasing, not strictly decreasing, is acceptable (the
+        // knee flattens once dispatch bandwidth saturates).
+        assert!(check(&doc_with(10, [800, 400, 400, 400])).is_ok());
     }
 
     #[test]

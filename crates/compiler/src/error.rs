@@ -14,7 +14,7 @@
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let empty = DsmLayout::new(0, 0);
-/// let err = lower_hmc_scan(&Query::q6(), &empty, 0, STOCK_HMC_OP);
+/// let err = lower_hmc_scan(&Query::q6(), &empty, STOCK_HMC_OP);
 /// assert_eq!(err.unwrap_err(), CompileError::EmptyTable);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -46,7 +46,7 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 
 /// Lowers `query` over a DSM `layout` into the dispatch stream of the
 /// stock HMC-ISA machine, writing a packed 1-bit-per-row match mask at
-/// `mask_base`.
+/// the layout's mask area base.
 ///
 /// The scan is tiled into the same 256 B regions (32 rows) as the
 /// logic-layer lowering, and each region issues, per predicate, one
@@ -68,7 +68,7 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 /// use hipe_isa::MicroOpKind;
 ///
 /// let layout = DsmLayout::new(0, 64);
-/// let ops = lower_hmc_scan(&Query::q6(), &layout, 1 << 20, STOCK_HMC_OP).expect("64 rows");
+/// let ops = lower_hmc_scan(&Query::q6(), &layout, STOCK_HMC_OP).expect("64 rows");
 /// let dispatches = ops
 ///     .iter()
 ///     .filter(|o| matches!(o.kind, MicroOpKind::HmcDispatch { .. }))
@@ -83,12 +83,12 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 pub fn lower_hmc_scan(
     query: &Query,
     layout: &DsmLayout,
-    mask_base: u64,
     op_size: OpSize,
 ) -> Result<Vec<MicroOp>, CompileError> {
     if layout.rows() == 0 {
         return Err(CompileError::EmptyTable);
     }
+    let mask_base = layout.mask_base();
     let regions = layout.rows().div_ceil(REGION_ROWS);
     let region_bytes = REGION_ROWS as u64 * LANE_BYTES;
     let chunks = (region_bytes / op_size.bytes()) as usize;
@@ -166,8 +166,8 @@ mod tests {
     #[test]
     fn stock_ops_cover_whole_column_in_16_byte_chunks() {
         let layout = DsmLayout::new(0, 1024);
-        let ops = lower_hmc_scan(&one_pred_query(), &layout, 1 << 20, STOCK_HMC_OP)
-            .expect("non-empty layout");
+        let ops =
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
         let d = dispatches(&ops);
         // 1024 rows x 8 B / 16 B chunks.
         assert_eq!(d.len(), 512);
@@ -181,7 +181,7 @@ mod tests {
     fn comparisons_become_inclusive_ranges() {
         let layout = DsmLayout::new(0, 32);
         let q = Query::q6();
-        let ops = lower_hmc_scan(&q, &layout, 4096, OpSize::MAX).expect("non-empty layout");
+        let ops = lower_hmc_scan(&q, &layout, OpSize::MAX).expect("non-empty layout");
         let d = dispatches(&ops);
         assert_eq!(d.len(), 3);
         assert_eq!(d[0].2, VaultOp::LoadCmp { lo: 731, hi: 1095 });
@@ -199,8 +199,8 @@ mod tests {
     fn mask_words_are_stored_every_64_rows() {
         // 100 rows = 4 regions = 2 packed words.
         let layout = DsmLayout::new(0, 100);
-        let ops = lower_hmc_scan(&one_pred_query(), &layout, 1 << 16, STOCK_HMC_OP)
-            .expect("non-empty layout");
+        let ops =
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
         let stores: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o.kind {
@@ -208,7 +208,7 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(stores, vec![1 << 16, (1 << 16) + 8]);
+        assert_eq!(stores, vec![layout.mask_base(), layout.mask_base() + 8]);
     }
 
     #[test]
@@ -217,7 +217,7 @@ mod tests {
         // unpaired region 2.
         let layout = DsmLayout::new(0, 96);
         let ops =
-            lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP).expect("non-empty layout");
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
         let stores = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
@@ -228,8 +228,7 @@ mod tests {
     #[test]
     fn multi_predicate_regions_emit_host_combine_alus() {
         let layout = DsmLayout::new(0, 32);
-        let ops =
-            lower_hmc_scan(&Query::q6(), &layout, 4096, STOCK_HMC_OP).expect("non-empty layout");
+        let ops = lower_hmc_scan(&Query::q6(), &layout, STOCK_HMC_OP).expect("non-empty layout");
         let alus = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::IntAlu))
@@ -243,9 +242,8 @@ mod tests {
         let layout = DsmLayout::new(0, 4096);
         let q = one_pred_query();
         let stock =
-            dispatches(&lower_hmc_scan(&q, &layout, 0, STOCK_HMC_OP).expect("non-empty")).len();
-        let max =
-            dispatches(&lower_hmc_scan(&q, &layout, 0, OpSize::MAX).expect("non-empty")).len();
+            dispatches(&lower_hmc_scan(&q, &layout, STOCK_HMC_OP).expect("non-empty")).len();
+        let max = dispatches(&lower_hmc_scan(&q, &layout, OpSize::MAX).expect("non-empty")).len();
         assert_eq!(stock, 16 * max);
     }
 
@@ -253,7 +251,7 @@ mod tests {
     fn branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
         let ops =
-            lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP).expect("non-empty layout");
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
@@ -263,7 +261,7 @@ mod tests {
     fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
         assert_eq!(
-            lower_hmc_scan(&one_pred_query(), &layout, 0, STOCK_HMC_OP).unwrap_err(),
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).unwrap_err(),
             CompileError::EmptyTable
         );
     }

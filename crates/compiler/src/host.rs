@@ -13,7 +13,7 @@ const LINES_PER_MASK_WORD: usize = 8;
 
 /// Lowers `query` over a DSM `layout` into the micro-op stream of a
 /// vectorized column-at-a-time scan, writing a packed 1-bit-per-row
-/// match mask at `mask_base`.
+/// match mask at the layout's mask area base.
 ///
 /// The modelled kernel is the paper's x86/AVX baseline (Figure 1b):
 /// for every predicate, stream the column through the cache hierarchy
@@ -30,7 +30,7 @@ const LINES_PER_MASK_WORD: usize = 8;
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let layout = DsmLayout::new(0, 512);
-/// let ops = lower_host_scan(&Query::q6(), &layout, 1 << 20).expect("512 rows");
+/// let ops = lower_host_scan(&Query::q6(), &layout).expect("512 rows");
 /// // Three predicates, 64 lines each, >= 5 micro-ops per line.
 /// assert!(ops.len() >= 3 * 64 * 5);
 /// ```
@@ -38,14 +38,11 @@ const LINES_PER_MASK_WORD: usize = 8;
 /// # Errors
 ///
 /// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
-pub fn lower_host_scan(
-    query: &Query,
-    layout: &DsmLayout,
-    mask_base: u64,
-) -> Result<Vec<MicroOp>, CompileError> {
+pub fn lower_host_scan(query: &Query, layout: &DsmLayout) -> Result<Vec<MicroOp>, CompileError> {
     if layout.rows() == 0 {
         return Err(CompileError::EmptyTable);
     }
+    let mask_base = layout.mask_base();
     let vec_size = OpSize::new(64).expect("64 B is a supported vector width");
     let lines = layout.rows().div_ceil(LINE_ROWS);
     let mut ops = Vec::with_capacity(query.predicates().len() * lines * 6);
@@ -112,7 +109,7 @@ mod tests {
     #[test]
     fn stream_touches_whole_column() {
         let layout = DsmLayout::new(0, 1024);
-        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20).expect("non-empty");
+        let ops = lower_host_scan(&one_pred_query(), &layout).expect("non-empty");
         let col = layout.column_base(Column::Quantity);
         let loads: Vec<u64> = ops
             .iter()
@@ -130,7 +127,7 @@ mod tests {
     fn later_predicates_read_modify_write_mask() {
         let layout = DsmLayout::new(0, 64);
         let q = Query::q6();
-        let ops = lower_host_scan(&q, &layout, 1 << 20).expect("non-empty");
+        let ops = lower_host_scan(&q, &layout).expect("non-empty");
         let mask_loads = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Load { bytes: 8, .. }))
@@ -148,7 +145,7 @@ mod tests {
     #[test]
     fn loop_branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
-        let ops = lower_host_scan(&one_pred_query(), &layout, 1 << 20).expect("non-empty");
+        let ops = lower_host_scan(&one_pred_query(), &layout).expect("non-empty");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
@@ -158,19 +155,22 @@ mod tests {
     fn tail_rows_emit_final_mask_word() {
         // 70 rows = 9 lines: the last (partial) word is flushed.
         let layout = DsmLayout::new(0, 70);
-        let ops = lower_host_scan(&one_pred_query(), &layout, 4096).expect("non-empty");
-        let stores = ops
+        let ops = lower_host_scan(&one_pred_query(), &layout).expect("non-empty");
+        let stores: Vec<u64> = ops
             .iter()
-            .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
-            .count();
-        assert_eq!(stores, 2);
+            .filter_map(|o| match o.kind {
+                MicroOpKind::Store { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores, vec![layout.mask_base(), layout.mask_base() + 8]);
     }
 
     #[test]
     fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
         assert_eq!(
-            lower_host_scan(&one_pred_query(), &layout, 0).unwrap_err(),
+            lower_host_scan(&one_pred_query(), &layout).unwrap_err(),
             CompileError::EmptyTable
         );
     }

@@ -37,6 +37,14 @@
 //!   gathering matched tuples over the links. On HIPE the whole tail
 //!   is predicated, so regions without matches squash it.
 //!
+//! The logic-layer lowerings are *partition-aware*: over a
+//! vault-partitioned [`hipe_db::DsmLayout`] they emit one
+//! [`hipe_isa::LogicProgram`] per vault group — each covering exactly
+//! the regions the HMC interleave places in that group's vaults — so
+//! N logic-layer engines can scan the table concurrently without ever
+//! sharing a bank. A single-partition layout produces the historical
+//! monolithic stream, address for address.
+//!
 //! Every entry point returns a typed [`CompileError`] for invalid
 //! inputs (zero-row layouts, aggregate lowering of non-aggregating
 //! queries) instead of panicking, and the driver's `Backend::compile`
@@ -59,6 +67,5 @@ pub use error::CompileError;
 pub use hmc::{lower_hmc_scan, STOCK_HMC_OP};
 pub use host::lower_host_scan;
 pub use logic::{
-    aggregate_area_bytes, lower_logic_aggregate, lower_logic_scan, LogicScanProgram,
-    AGG_SLOT_BYTES, REGION_ROWS,
+    lower_logic_aggregate, lower_logic_scan, LogicScanProgram, AGG_SLOT_BYTES, REGION_ROWS,
 };

@@ -1,13 +1,13 @@
 //! Lowering of select scans (and fused aggregates) to HIVE/HIPE
-//! logic-layer programs.
+//! logic-layer programs — one per vault-group partition.
 
 use crate::error::CompileError;
-use hipe_db::{CmpOp, Column, DsmLayout, Query};
-use hipe_isa::{AluOp, LogicInstr, OpSize, Predicate, RegId};
+use hipe_db::{CmpOp, Column, DsmLayout, Query, REGION_BYTES};
+use hipe_isa::{AluOp, LogicInstr, LogicProgram, OpSize, PartitionSpec, Predicate, RegId};
 
 /// Rows covered by one logic-layer operation: a full 256 B register
 /// (32 x 8 B lanes), which is also one DRAM row buffer.
-pub const REGION_ROWS: usize = 32;
+pub use hipe_db::REGION_ROWS;
 
 /// Bytes of one per-region partial-sum slot in the aggregate output
 /// area: one 8 B lane per region.
@@ -19,39 +19,30 @@ pub const AGG_SLOT_BYTES: u64 = 8;
 /// flushed once per group. One store per 32 regions keeps the
 /// partial-store traffic off the banks that the column-load streams
 /// sweep — a store per region was measured to collide with every
-/// passing stream and stall the scan.
+/// passing stream and stall the scan. Grouping is over a partition's
+/// *own* region order, so every flush stays inside its vault group.
 const AGG_GROUP: usize = 32;
 
-/// 256 B DRAM rows of the aggregate output area for `regions` regions.
-fn agg_area_rows(regions: usize) -> usize {
-    regions.div_ceil(AGG_GROUP)
-}
-
-/// Bytes of the aggregate partial-sum output area for a table of
-/// `rows` rows: whole 256 B DRAM rows holding one 8 B slot per 32-row
-/// region. The `System` driver reserves this much image right after
-/// the mask area.
-pub fn aggregate_area_bytes(rows: usize) -> u64 {
-    agg_area_rows(rows.div_ceil(REGION_ROWS)) as u64 * OpSize::MAX.bytes()
-}
-
-/// A lowered logic-layer program: a select scan, optionally extended
-/// with the fused near-data aggregate tail.
+/// A lowered logic-layer scan: one partition-tagged instruction stream
+/// per vault group, plus the shared output-area map.
 ///
-/// The program is a flat in-order instruction stream: one `Lock`, then
-/// per-region blocks, then one `Unlock` whose acknowledgement tells
-/// the host the scan (and its stores) is complete. Region `i` covers
+/// Each [`LogicProgram`] is a flat in-order stream for one engine: one
+/// `Lock`, then per-region blocks over the partition's own regions,
+/// then one `Unlock` whose acknowledgement tells the host that
+/// partition's scan (and its stores) is complete. Region `i` covers
 /// rows `[32 * i, 32 * i + 32)` and writes its match mask (one 0/1
-/// lane per row) to [`mask_addr`](Self::mask_addr)`(i)`.
+/// lane per row) to [`mask_addr`](Self::mask_addr)`(i)`; with a
+/// single-partition layout the one program is exactly the historical
+/// monolithic stream.
 ///
 /// For aggregate queries lowered with [`lower_logic_aggregate`], each
 /// region's block additionally loads the `l_extendedprice` and
 /// `l_discount` chunks, multiplies them, and dot-product-reduces the
-/// products against the match mask into the region's lane of a group
-/// partial-sum register, flushed one row buffer per 32-region group;
-/// region `i`'s 8 B partial lands at [`agg_addr`](Self::agg_addr)`(i)`
-/// — so only compact partials (not per-tuple values) ever cross the
-/// serial links.
+/// products against the match mask into a lane of its partition's
+/// group partial-sum register, flushed one row buffer per 32 owned
+/// regions into the partition's own vaults; region `i`'s 8 B partial
+/// lands at [`agg_addr`](Self::agg_addr)`(i)` — so only compact
+/// partials (not per-tuple values) ever cross the serial links.
 ///
 /// # Example
 ///
@@ -60,74 +51,88 @@ pub fn aggregate_area_bytes(rows: usize) -> u64 {
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let layout = DsmLayout::new(0, 1000);
-/// let prog = lower_logic_scan(&Query::q6(), &layout, 1 << 20, true).expect("non-empty layout");
+/// let prog = lower_logic_scan(&Query::q6(), &layout, true).expect("non-empty layout");
 /// assert_eq!(prog.regions(), 1000usize.div_ceil(REGION_ROWS));
-/// assert_eq!(prog.mask_addr(2), (1 << 20) + 512);
+/// assert_eq!(prog.partitions(), 1);
+/// assert_eq!(prog.mask_addr(2), layout.mask_base() + 512);
 /// // Lock + per-region block + Unlock.
-/// assert!(prog.instrs().len() > 2 * prog.regions());
+/// assert!(prog.total_instrs() > 2 * prog.regions());
 /// assert_eq!(prog.aggregate_base(), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct LogicScanProgram {
-    instrs: Vec<LogicInstr>,
-    regions: usize,
-    mask_base: u64,
-    /// Base address of the per-region partial-sum area (fused
-    /// aggregate programs only).
-    agg_base: Option<u64>,
+    programs: Vec<LogicProgram>,
+    layout: DsmLayout,
+    aggregate: bool,
 }
 
 impl LogicScanProgram {
-    /// The instruction stream, in program order.
-    pub fn instrs(&self) -> &[LogicInstr] {
-        &self.instrs
+    /// The per-partition programs, one per vault group (empty streams
+    /// for partitions the table never reaches).
+    pub fn programs(&self) -> &[LogicProgram] {
+        &self.programs
+    }
+
+    /// Number of vault-group partitions (== engines that will run).
+    pub fn partitions(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Total lowered instructions across all partitions.
+    pub fn total_instrs(&self) -> usize {
+        self.programs.iter().map(LogicProgram::len).sum()
+    }
+
+    /// All instructions, partition-major (inspection and tests).
+    pub fn iter_instrs(&self) -> impl Iterator<Item = &LogicInstr> {
+        self.programs.iter().flat_map(|p| p.instrs().iter())
     }
 
     /// Number of 32-row regions the scan is tiled into.
     pub fn regions(&self) -> usize {
-        self.regions
+        self.layout.regions()
     }
 
     /// Base address of the mask output area.
     pub fn mask_base(&self) -> u64 {
-        self.mask_base
+        self.layout.mask_base()
     }
 
     /// Address of region `i`'s 256 B mask chunk.
     pub fn mask_addr(&self, i: usize) -> u64 {
-        self.mask_base + i as u64 * OpSize::MAX.bytes()
+        self.layout.mask_addr(i)
     }
 
     /// Bytes of mask output the program writes (one 256 B chunk per
     /// region).
     pub fn mask_bytes(&self) -> u64 {
-        self.regions as u64 * OpSize::MAX.bytes()
+        self.regions() as u64 * REGION_BYTES
     }
 
     /// Base address of the per-region partial-sum output area, or
     /// `None` for a plain (non-aggregating) scan program.
     pub fn aggregate_base(&self) -> Option<u64> {
-        self.agg_base
+        self.aggregate.then(|| self.layout.agg_base())
     }
 
-    /// Address of region `i`'s 8 B partial-sum slot: lane `i % 32` of
-    /// the area row its 32-region group was flushed to.
+    /// Address of region `i`'s 8 B partial-sum slot.
     ///
     /// # Panics
     ///
     /// Panics if the program carries no fused aggregate.
     pub fn agg_addr(&self, i: usize) -> u64 {
-        let base = self.agg_base.expect("not an aggregate program");
-        base + i as u64 * AGG_SLOT_BYTES
+        assert!(self.aggregate, "not an aggregate program");
+        self.layout.agg_slot_addr(i)
     }
 
     /// Bytes of the partial-sum output area (whole 256 B rows; unused
     /// pad slots stay zero and contribute nothing to the combined sum;
     /// zero for plain scans).
     pub fn agg_bytes(&self) -> u64 {
-        match self.agg_base {
-            Some(_) => agg_area_rows(self.regions) as u64 * OpSize::MAX.bytes(),
-            None => 0,
+        if self.aggregate {
+            self.layout.agg_area_bytes()
+        } else {
+            0
         }
     }
 }
@@ -144,16 +149,18 @@ fn alu_op(cmp: CmpOp) -> AluOp {
     }
 }
 
-/// Lowers `query` over a DSM `layout` into a logic-layer select-scan
-/// program whose match masks are written starting at `mask_base`
-/// (256 B per region).
+/// Lowers `query` over a DSM `layout` into per-partition logic-layer
+/// select-scan programs whose match masks are written to the layout's
+/// mask area (256 B per region).
 ///
 /// With `predicated` set (HIPE), every instruction of a region after
 /// the first compare carries an any-non-zero predicate on the running
 /// mask register; without it (HIVE) the same stream is emitted
-/// unpredicated. Regions use two alternating register sets so that a
-/// region's loads can overlap the previous region's stores (the
-/// interlocked bank resolves the WAR hazards).
+/// unpredicated. Within each partition, regions use two alternating
+/// register sets so that a region's loads can overlap the previous
+/// region's stores (the interlocked bank resolves the WAR hazards);
+/// every engine has its own register bank, so the allocation repeats
+/// per partition.
 ///
 /// # Errors
 ///
@@ -161,23 +168,22 @@ fn alu_op(cmp: CmpOp) -> AluOp {
 pub fn lower_logic_scan(
     query: &Query,
     layout: &DsmLayout,
-    mask_base: u64,
     predicated: bool,
 ) -> Result<LogicScanProgram, CompileError> {
-    lower(query, layout, mask_base, predicated, false)
+    lower(query, layout, predicated, false)
 }
 
-/// Lowers an aggregate `query` into a fused logic-layer program: the
-/// select scan of [`lower_logic_scan`] with each region's block
-/// extended by the near-data aggregate tail —
+/// Lowers an aggregate `query` into fused per-partition logic-layer
+/// programs: the select scan of [`lower_logic_scan`] with each
+/// region's block extended by the near-data aggregate tail —
 ///
 /// 1. load the region's `l_extendedprice` and `l_discount` chunks,
 /// 2. `Mul` them lane-wise,
 /// 3. `AddReduce` the products against the match mask (dot product,
 ///    so non-matching lanes contribute zero) into this region's lane
-///    of a group partial-sum register,
-/// 4. once per 32-region group, flush the register's 32 partials as a
-///    single row-buffer store next to the mask output
+///    of its partition's group partial-sum register,
+/// 4. once per 32 owned regions, flush the register's 32 partials as a
+///    single row-buffer store into the partition's own vault group
 ///    ([`LogicScanProgram::agg_addr`] locates each region's 8 B slot).
 ///
 /// The tail uses its own register sets so its DRAM latency hides
@@ -197,20 +203,18 @@ pub fn lower_logic_scan(
 pub fn lower_logic_aggregate(
     query: &Query,
     layout: &DsmLayout,
-    mask_base: u64,
     predicated: bool,
 ) -> Result<LogicScanProgram, CompileError> {
     if !query.aggregates() {
         return Err(CompileError::NotAnAggregate);
     }
-    lower(query, layout, mask_base, predicated, true)
+    lower(query, layout, predicated, true)
 }
 
 /// Shared emitter of scan and fused-aggregate programs.
 fn lower(
     query: &Query,
     layout: &DsmLayout,
-    mask_base: u64,
     predicated: bool,
     fused_aggregate: bool,
 ) -> Result<LogicScanProgram, CompileError> {
@@ -218,19 +222,18 @@ fn lower(
         return Err(CompileError::EmptyTable);
     }
     let size = OpSize::MAX;
-    let regions = layout.rows().div_ceil(REGION_ROWS);
     let npreds = query.predicates().len();
-    let agg_base = fused_aggregate.then(|| mask_base + regions as u64 * size.bytes());
     let tail_len = if fused_aggregate { 6 } else { 0 };
-    let mut instrs = Vec::with_capacity(2 + regions * (3 * npreds + 1 + tail_len));
 
     let reg = |i: usize| RegId::new(i).expect("register in bank");
-    // Register sets rotated between consecutive regions: two scan sets
-    // of (data, mask, tmp), and — for fused aggregates — four tail
-    // sets of (price, discount, partial). The tail gets its own, wider
-    // rotation so its column loads' DRAM latency stays off the next
-    // regions' scan chain (the balanced bank has 36 registers; the
-    // scan alone leaves 30 of them idle).
+    // Register sets rotated between consecutive regions of one
+    // partition: two scan sets of (data, mask, tmp), and — for fused
+    // aggregates — four tail sets of (price, discount, mask copy). The
+    // tail gets its own, wider rotation so its column loads' DRAM
+    // latency stays off the next regions' scan chain (the balanced
+    // bank has 36 registers; the scan alone leaves 30 of them idle).
+    // Each partition runs on its own engine with its own bank, so the
+    // same allocation repeats per partition.
     let set = |base: usize| (reg(base), reg(base + 1), reg(base + 2));
     let scan_sets = [set(0), set(3)];
     let agg_sets = [set(6), set(9), set(12), set(15)];
@@ -239,143 +242,157 @@ fn lower(
     // reduces.
     let parts = [reg(18), reg(19)];
 
-    instrs.push(LogicInstr::Lock);
-    for region in 0..regions {
-        let (r_data, r_mask, r_tmp) = scan_sets[region % 2];
-        let chunk = region as u64 * size.bytes();
-        let guard = predicated.then(|| Predicate::any_nonzero(r_mask));
-        for (pi, p) in query.predicates().iter().enumerate() {
-            let addr = layout.column_base(p.column) + chunk;
-            // The first predicate of a region establishes the mask and
-            // cannot be guarded by it.
-            let pred = if pi == 0 { None } else { guard };
-            instrs.push(LogicInstr::Load {
-                dst: r_data,
-                addr,
-                size,
-                pred,
-            });
-            if pi == 0 {
-                instrs.push(LogicInstr::Alu {
-                    op: alu_op(p.cmp),
-                    dst: r_mask,
-                    a: r_data,
-                    b: None,
-                    size,
-                    pred: None,
-                });
-            } else {
-                instrs.push(LogicInstr::Alu {
-                    op: alu_op(p.cmp),
-                    dst: r_tmp,
-                    a: r_data,
-                    b: None,
+    let mut programs = Vec::with_capacity(layout.partitions());
+    for p in 0..layout.partitions() {
+        let spec = {
+            let vaults = layout.vault_group(p);
+            PartitionSpec::new(p, vaults.start, vaults.len())
+        };
+        let owned: Vec<usize> = layout.partition_regions(p).collect();
+        if owned.is_empty() {
+            programs.push(LogicProgram::new(spec, Vec::new()));
+            continue;
+        }
+        let mut instrs = Vec::with_capacity(2 + owned.len() * (3 * npreds + 1 + tail_len));
+        instrs.push(LogicInstr::Lock);
+        for (k, &region) in owned.iter().enumerate() {
+            let (r_data, r_mask, r_tmp) = scan_sets[k % 2];
+            let chunk = region as u64 * size.bytes();
+            let guard = predicated.then(|| Predicate::any_nonzero(r_mask));
+            for (pi, pred_col) in query.predicates().iter().enumerate() {
+                let addr = layout.column_base(pred_col.column) + chunk;
+                // The first predicate of a region establishes the mask
+                // and cannot be guarded by it.
+                let pred = if pi == 0 { None } else { guard };
+                instrs.push(LogicInstr::Load {
+                    dst: r_data,
+                    addr,
                     size,
                     pred,
                 });
+                if pi == 0 {
+                    instrs.push(LogicInstr::Alu {
+                        op: alu_op(pred_col.cmp),
+                        dst: r_mask,
+                        a: r_data,
+                        b: None,
+                        size,
+                        pred: None,
+                    });
+                } else {
+                    instrs.push(LogicInstr::Alu {
+                        op: alu_op(pred_col.cmp),
+                        dst: r_tmp,
+                        a: r_data,
+                        b: None,
+                        size,
+                        pred,
+                    });
+                    instrs.push(LogicInstr::Alu {
+                        op: AluOp::And,
+                        dst: r_mask,
+                        a: r_mask,
+                        b: Some(r_tmp),
+                        size,
+                        pred,
+                    });
+                }
+            }
+            // The mask area starts zeroed, so a squashed store leaves
+            // the correct all-zero mask behind.
+            instrs.push(LogicInstr::Store {
+                src: r_mask,
+                addr: layout.mask_addr(region),
+                size,
+                pred: guard,
+            });
+            if fused_aggregate {
+                let (r_price, r_disc, r_mcopy) = agg_sets[k % 4];
+                let group = k / AGG_GROUP;
+                let r_part = parts[group % 2];
+                if k % AGG_GROUP == 0 {
+                    // Fresh group: zero its partial register (never
+                    // predicated — on HIPE a squashed region must
+                    // leave its lane at exactly zero, not at the
+                    // previous group's value).
+                    instrs.push(LogicInstr::Alu {
+                        op: AluOp::Sub,
+                        dst: r_part,
+                        a: r_part,
+                        b: Some(r_part),
+                        size,
+                        pred: None,
+                    });
+                }
+                // Snapshot the final mask into a tail register
+                // immediately: the copy consumes `r_mask` as soon as
+                // it is ready, so the reduce (which waits ~a DRAM
+                // latency for the price chunk) does not stretch the
+                // scan's cross-region WAR chain on the mask register.
                 instrs.push(LogicInstr::Alu {
-                    op: AluOp::And,
-                    dst: r_mask,
+                    op: AluOp::Or,
+                    dst: r_mcopy,
                     a: r_mask,
-                    b: Some(r_tmp),
+                    b: Some(r_mask),
                     size,
-                    pred,
+                    pred: guard,
                 });
-            }
-        }
-        // The mask area starts zeroed, so a squashed store leaves the
-        // correct all-zero mask behind.
-        instrs.push(LogicInstr::Store {
-            src: r_mask,
-            addr: mask_base + chunk,
-            size,
-            pred: guard,
-        });
-        if let Some(agg_base) = agg_base {
-            let (r_price, r_disc, r_mcopy) = agg_sets[region % 4];
-            let group = region / AGG_GROUP;
-            let r_part = parts[group % 2];
-            if region % AGG_GROUP == 0 {
-                // Fresh group: zero its partial register (never
-                // predicated — on HIPE a squashed region must leave
-                // its lane at exactly zero, not at the previous
-                // group's value).
+                instrs.push(LogicInstr::Load {
+                    dst: r_price,
+                    addr: layout.column_base(Column::ExtendedPrice) + chunk,
+                    size,
+                    pred: guard,
+                });
+                instrs.push(LogicInstr::Load {
+                    dst: r_disc,
+                    addr: layout.column_base(Column::Discount) + chunk,
+                    size,
+                    pred: guard,
+                });
                 instrs.push(LogicInstr::Alu {
-                    op: AluOp::Sub,
+                    op: AluOp::Mul,
+                    dst: r_price,
+                    a: r_price,
+                    b: Some(r_disc),
+                    size,
+                    pred: guard,
+                });
+                // Dot product against the 0/1 match mask into this
+                // region's lane of the group partial register:
+                // non-matching lanes (and the zero-padded tail of the
+                // last region) contribute nothing.
+                instrs.push(LogicInstr::Alu {
+                    op: AluOp::AddReduce {
+                        lane: (k % AGG_GROUP) as u8,
+                    },
                     dst: r_part,
-                    a: r_part,
-                    b: Some(r_part),
+                    a: r_price,
+                    b: Some(r_mcopy),
                     size,
-                    pred: None,
+                    pred: guard,
                 });
-            }
-            // Snapshot the final mask into a tail register immediately:
-            // the copy consumes `r_mask` as soon as it is ready, so the
-            // reduce (which waits ~a DRAM latency for the price chunk)
-            // does not stretch the scan's cross-region WAR chain on the
-            // mask register.
-            instrs.push(LogicInstr::Alu {
-                op: AluOp::Or,
-                dst: r_mcopy,
-                a: r_mask,
-                b: Some(r_mask),
-                size,
-                pred: guard,
-            });
-            instrs.push(LogicInstr::Load {
-                dst: r_price,
-                addr: layout.column_base(Column::ExtendedPrice) + chunk,
-                size,
-                pred: guard,
-            });
-            instrs.push(LogicInstr::Load {
-                dst: r_disc,
-                addr: layout.column_base(Column::Discount) + chunk,
-                size,
-                pred: guard,
-            });
-            instrs.push(LogicInstr::Alu {
-                op: AluOp::Mul,
-                dst: r_price,
-                a: r_price,
-                b: Some(r_disc),
-                size,
-                pred: guard,
-            });
-            // Dot product against the 0/1 match mask into this
-            // region's lane of the group partial register:
-            // non-matching lanes (and the zero-padded tail of the
-            // last region) contribute nothing.
-            instrs.push(LogicInstr::Alu {
-                op: AluOp::AddReduce {
-                    lane: (region % AGG_GROUP) as u8,
-                },
-                dst: r_part,
-                a: r_price,
-                b: Some(r_mcopy),
-                size,
-                pred: guard,
-            });
-            if (region + 1) % AGG_GROUP == 0 || region + 1 == regions {
-                // Flush the group's 32 partials as one row-buffer
-                // store (never predicated: earlier regions of the
-                // group may have matched even if this one did not).
-                instrs.push(LogicInstr::Store {
-                    src: r_part,
-                    addr: agg_base + group as u64 * size.bytes(),
-                    size,
-                    pred: None,
-                });
+                if (k + 1) % AGG_GROUP == 0 || k + 1 == owned.len() {
+                    // Flush the group's 32 partials as one row-buffer
+                    // store into the partition's own vault group
+                    // (never predicated: earlier regions of the group
+                    // may have matched even if this one did not).
+                    instrs.push(LogicInstr::Store {
+                        src: r_part,
+                        addr: layout.agg_flush_addr(p, group),
+                        size,
+                        pred: None,
+                    });
+                }
             }
         }
+        instrs.push(LogicInstr::Unlock);
+        programs.push(LogicProgram::new(spec, instrs));
     }
-    instrs.push(LogicInstr::Unlock);
 
     Ok(LogicScanProgram {
-        instrs,
-        regions,
-        mask_base,
-        agg_base,
+        programs,
+        layout: *layout,
+        aggregate: fused_aggregate,
     })
 }
 
@@ -391,32 +408,36 @@ mod tests {
         )
     }
 
-    fn scan(query: &Query, rows: usize, mask_base: u64, predicated: bool) -> LogicScanProgram {
+    fn scan(query: &Query, rows: usize, predicated: bool) -> LogicScanProgram {
         let layout = DsmLayout::new(0, rows);
-        lower_logic_scan(query, &layout, mask_base, predicated).expect("non-empty layout")
+        lower_logic_scan(query, &layout, predicated).expect("non-empty layout")
     }
 
-    fn aggregate(query: &Query, rows: usize, mask_base: u64, pred: bool) -> LogicScanProgram {
+    fn aggregate(query: &Query, rows: usize, pred: bool) -> LogicScanProgram {
         let layout = DsmLayout::new(0, rows);
-        lower_logic_aggregate(query, &layout, mask_base, pred).expect("valid aggregate")
+        lower_logic_aggregate(query, &layout, pred).expect("valid aggregate")
+    }
+
+    fn flat(prog: &LogicScanProgram) -> Vec<LogicInstr> {
+        prog.iter_instrs().copied().collect()
     }
 
     #[test]
     fn single_predicate_block_shape() {
-        let prog = scan(&one_pred_query(), 64, 4096, true);
+        let prog = scan(&one_pred_query(), 64, true);
         assert_eq!(prog.regions(), 2);
+        let instrs = flat(&prog);
         // Lock, (Load, Cmp, Store) x 2, Unlock.
-        assert_eq!(prog.instrs().len(), 8);
-        assert!(matches!(prog.instrs()[0], LogicInstr::Lock));
-        assert!(matches!(prog.instrs()[7], LogicInstr::Unlock));
+        assert_eq!(instrs.len(), 8);
+        assert!(matches!(instrs[0], LogicInstr::Lock));
+        assert!(matches!(instrs[7], LogicInstr::Unlock));
     }
 
     #[test]
     fn q6_emits_three_compares_per_region() {
-        let prog = scan(&Query::q6(), 32, 4096, true);
+        let prog = scan(&Query::q6(), 32, true);
         let alu = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter(|i| matches!(i, LogicInstr::Alu { .. }))
             .count();
         // 3 compares + 2 ANDs for one region.
@@ -425,16 +446,15 @@ mod tests {
 
     #[test]
     fn hive_lowering_is_unpredicated() {
-        let prog = scan(&Query::q6(), 320, 1 << 16, false);
-        assert!(prog.instrs().iter().all(|i| i.predicate().is_none()));
+        let prog = scan(&Query::q6(), 320, false);
+        assert!(prog.iter_instrs().all(|i| i.predicate().is_none()));
     }
 
     #[test]
     fn hipe_lowering_guards_everything_after_first_compare() {
-        let prog = scan(&Query::q6(), 32, 1 << 16, true);
+        let prog = scan(&Query::q6(), 32, true);
         let preds = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter(|i| i.predicate().is_some())
             .count();
         // Per region: 2 loads, 2 compares, 2 ANDs, 1 store are guarded.
@@ -443,8 +463,8 @@ mod tests {
 
     #[test]
     fn first_load_and_compare_never_predicated() {
-        let prog = scan(&one_pred_query(), 3200, 1 << 20, true);
-        for w in prog.instrs().windows(2) {
+        let prog = scan(&one_pred_query(), 3200, true);
+        for w in flat(&prog).windows(2) {
             if let [LogicInstr::Load { pred, .. }, LogicInstr::Alu { pred: apred, .. }] = w {
                 if pred.is_none() {
                     assert!(apred.is_none(), "first compare must be unguarded");
@@ -455,7 +475,7 @@ mod tests {
 
     #[test]
     fn mask_addresses_are_disjoint_row_buffers() {
-        let prog = scan(&one_pred_query(), 100, 1 << 20, true);
+        let prog = scan(&one_pred_query(), 100, true);
         assert_eq!(prog.regions(), 4);
         for i in 1..prog.regions() {
             assert_eq!(prog.mask_addr(i) - prog.mask_addr(i - 1), 256);
@@ -465,10 +485,9 @@ mod tests {
 
     #[test]
     fn consecutive_regions_alternate_register_sets() {
-        let prog = scan(&one_pred_query(), 64, 1 << 20, false);
+        let prog = scan(&one_pred_query(), 64, false);
         let dsts: Vec<_> = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter_map(|i| match i {
                 LogicInstr::Load { dst, .. } => Some(dst.index()),
                 _ => None,
@@ -481,11 +500,11 @@ mod tests {
     fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
         assert_eq!(
-            lower_logic_scan(&one_pred_query(), &layout, 0, true).unwrap_err(),
+            lower_logic_scan(&one_pred_query(), &layout, true).unwrap_err(),
             CompileError::EmptyTable
         );
         assert_eq!(
-            lower_logic_aggregate(&Query::q6(), &layout, 0, true).unwrap_err(),
+            lower_logic_aggregate(&Query::q6(), &layout, true).unwrap_err(),
             CompileError::EmptyTable
         );
     }
@@ -494,7 +513,7 @@ mod tests {
     fn aggregate_lowering_rejects_plain_scans() {
         let layout = DsmLayout::new(0, 64);
         assert_eq!(
-            lower_logic_aggregate(&one_pred_query(), &layout, 1 << 16, true).unwrap_err(),
+            lower_logic_aggregate(&one_pred_query(), &layout, true).unwrap_err(),
             CompileError::NotAnAggregate
         );
     }
@@ -502,23 +521,21 @@ mod tests {
     #[test]
     fn aggregate_tail_extends_every_region() {
         let q = Query::q6();
-        let plain = scan(&q, 100, 1 << 20, true);
-        let fused = aggregate(&q, 100, 1 << 20, true);
+        let plain = scan(&q, 100, true);
+        let fused = aggregate(&q, 100, true);
         assert_eq!(fused.regions(), plain.regions());
         // Five tail instructions per region, plus one zero and one
         // flush for the single 32-region group.
         assert_eq!(
-            fused.instrs().len(),
-            plain.instrs().len() + 5 * fused.regions() + 2
+            fused.total_instrs(),
+            plain.total_instrs() + 5 * fused.regions() + 2
         );
         let muls = fused
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter(|i| matches!(i, LogicInstr::Alu { op: AluOp::Mul, .. }))
             .count();
         let reduce_lanes: Vec<u8> = fused
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter_map(|i| match i {
                 LogicInstr::Alu {
                     op: AluOp::AddReduce { lane },
@@ -535,9 +552,10 @@ mod tests {
 
     #[test]
     fn aggregate_partials_live_after_the_mask_area() {
-        let prog = aggregate(&Query::q6(), 100, 1 << 20, false);
+        let layout = DsmLayout::new(0, 100);
+        let prog = aggregate(&Query::q6(), 100, false);
         let base = prog.aggregate_base().expect("fused program");
-        assert_eq!(base, prog.mask_base() + prog.mask_bytes());
+        assert_eq!(base, layout.mask_base() + layout.mask_area_bytes());
         // One 8 B slot per region, dense from the area base.
         for i in 0..prog.regions() {
             assert_eq!(prog.agg_addr(i), base + i as u64 * AGG_SLOT_BYTES);
@@ -546,8 +564,7 @@ mod tests {
         // Four regions form one group: a single row-buffer flush into
         // the area.
         let stores: Vec<u64> = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter_map(|i| match i {
                 LogicInstr::Store { addr, .. } if *addr >= base => Some(*addr),
                 _ => None,
@@ -562,11 +579,10 @@ mod tests {
         // unpredicated zero + one unpredicated flush per group, flushes
         // to consecutive area rows, and the final partial group is
         // flushed by the last region.
-        let prog = aggregate(&Query::q6(), 3200, 1 << 20, true);
+        let prog = aggregate(&Query::q6(), 3200, true);
         let base = prog.aggregate_base().expect("fused program");
         let zeroes = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter(|i| {
                 matches!(
                     i,
@@ -579,8 +595,7 @@ mod tests {
             })
             .count();
         let flushes: Vec<u64> = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter_map(|i| match i {
                 LogicInstr::Store {
                     addr, pred: None, ..
@@ -602,34 +617,31 @@ mod tests {
 
     #[test]
     fn hipe_aggregate_tail_is_fully_guarded() {
-        let prog = aggregate(&Query::q6(), 32, 1 << 16, true);
+        let prog = aggregate(&Query::q6(), 32, true);
         // Scan guards (7) plus the five per-region tail instructions;
         // the group zero and flush must stay unpredicated.
         let preds = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter(|i| i.predicate().is_some())
             .count();
         assert_eq!(preds, 7 + 5);
-        assert!(prog.instrs().iter().any(
+        assert!(prog.iter_instrs().any(
             |i| matches!(i, LogicInstr::Store { addr, pred: None, .. } if *addr >= prog.aggregate_base().expect("fused"))
         ));
     }
 
     #[test]
     fn hive_aggregate_tail_is_unpredicated() {
-        let prog = aggregate(&Query::q6(), 320, 1 << 16, false);
-        assert!(prog.instrs().iter().all(|i| i.predicate().is_none()));
+        let prog = aggregate(&Query::q6(), 320, false);
+        assert!(prog.iter_instrs().all(|i| i.predicate().is_none()));
     }
 
     #[test]
     fn aggregate_tail_loads_price_and_discount_columns() {
         let layout = DsmLayout::new(0, 32);
-        let prog =
-            lower_logic_aggregate(&Query::q6(), &layout, 1 << 16, false).expect("valid aggregate");
+        let prog = lower_logic_aggregate(&Query::q6(), &layout, false).expect("valid aggregate");
         let loads: Vec<u64> = prog
-            .instrs()
-            .iter()
+            .iter_instrs()
             .filter_map(|i| match i {
                 LogicInstr::Load { addr, .. } => Some(*addr),
                 _ => None,
@@ -645,5 +657,120 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn partitioned_lowering_splits_regions_across_programs() {
+        // 4096 rows = 128 regions over 4 partitions: 32 regions each,
+        // tagged with their vault groups, streams shaped like a
+        // 32-region single-partition scan.
+        let layout = DsmLayout::partitioned(0, 4096, 4);
+        let prog = lower_logic_scan(&Query::q6(), &layout, true).expect("non-empty layout");
+        assert_eq!(prog.partitions(), 4);
+        for (p, lp) in prog.programs().iter().enumerate() {
+            assert_eq!(lp.spec().index, p);
+            assert_eq!(lp.spec().vaults(), layout.vault_group(p));
+            // Lock + 32 x (Load,Cmp, Load,Cmp,And, Load,Cmp,And, Store)
+            // + Unlock.
+            assert_eq!(lp.len(), 2 + 32 * 9);
+            assert!(matches!(lp.instrs()[0], LogicInstr::Lock));
+            assert!(matches!(lp.instrs()[lp.len() - 1], LogicInstr::Unlock));
+        }
+        // Every region's mask store appears exactly once, in its
+        // owner's program.
+        for r in 0..prog.regions() {
+            let owner = layout.partition_of_region(r);
+            for (p, lp) in prog.programs().iter().enumerate() {
+                let stores = lp
+                    .instrs()
+                    .iter()
+                    .filter(|i| {
+                        matches!(i, LogicInstr::Store { addr, .. } if *addr == prog.mask_addr(r))
+                    })
+                    .count();
+                assert_eq!(stores, usize::from(p == owner), "region {r} partition {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_programs_only_touch_their_own_vaults() {
+        let layout = DsmLayout::partitioned(0, 2048, 8);
+        for fused in [false, true] {
+            let prog = if fused {
+                aggregate_over(&layout)
+            } else {
+                lower_logic_scan(&Query::q6(), &layout, true).expect("non-empty layout")
+            };
+            for lp in prog.programs() {
+                for i in lp.instrs() {
+                    let addr = match i {
+                        LogicInstr::Load { addr, .. } | LogicInstr::Store { addr, .. } => *addr,
+                        _ => continue,
+                    };
+                    let vault = (addr / 256) as usize % hipe_db::VAULTS;
+                    assert!(
+                        lp.spec().owns_vault(vault),
+                        "partition {} touched vault {vault} (fused={fused})",
+                        lp.spec().index
+                    );
+                }
+            }
+        }
+    }
+
+    fn aggregate_over(layout: &DsmLayout) -> LogicScanProgram {
+        lower_logic_aggregate(&Query::q6(), layout, true).expect("valid aggregate")
+    }
+
+    #[test]
+    fn empty_partitions_get_empty_programs() {
+        // 64 rows = 2 regions, both in partition 0 of 8.
+        let layout = DsmLayout::partitioned(0, 64, 8);
+        let prog = lower_logic_scan(&one_pred_query(), &layout, true).expect("non-empty layout");
+        assert_eq!(prog.partitions(), 8);
+        assert!(!prog.programs()[0].is_empty());
+        for lp in &prog.programs()[1..] {
+            assert!(lp.is_empty(), "partition {} not idle", lp.spec().index);
+        }
+    }
+
+    #[test]
+    fn partitioned_aggregate_groups_by_local_region_order() {
+        // 8192 rows = 256 regions over 2 partitions = 128 regions each
+        // = 4 flush groups per partition, each into the partition's
+        // own vault group.
+        let layout = DsmLayout::partitioned(0, 8192, 2);
+        let prog = aggregate_over(&layout);
+        for (p, lp) in prog.programs().iter().enumerate() {
+            let flushes: Vec<u64> = lp
+                .instrs()
+                .iter()
+                .filter_map(|i| match i {
+                    LogicInstr::Store {
+                        addr, pred: None, ..
+                    } if *addr >= layout.agg_base() => Some(*addr),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(flushes.len(), 4, "partition {p}");
+            for (j, addr) in flushes.iter().enumerate() {
+                assert_eq!(*addr, layout.agg_flush_addr(p, j));
+            }
+            // Reduce lanes restart per partition: 32 regions per group.
+            let lanes: Vec<u8> = lp
+                .instrs()
+                .iter()
+                .filter_map(|i| match i {
+                    LogicInstr::Alu {
+                        op: AluOp::AddReduce { lane },
+                        ..
+                    } => Some(*lane),
+                    _ => None,
+                })
+                .collect();
+            let expect: Vec<u8> = (0..128).map(|k| (k % 32) as u8).collect();
+            assert_eq!(lanes, expect, "partition {p}");
+        }
     }
 }

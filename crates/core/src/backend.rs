@@ -67,7 +67,8 @@ pub(crate) enum PlanCode {
     /// A micro-op stream executed by the out-of-order core (x86
     /// baseline and HMC-ISA machines).
     Micro(Vec<MicroOp>),
-    /// A logic-layer program posted to the in-cube engine (HIVE/HIPE).
+    /// Per-partition logic-layer programs posted to the in-cube
+    /// engine cluster (HIVE/HIPE) — one program per vault group.
     /// Aggregate queries carry the fused aggregate tail unless the
     /// backend was configured for the host-gather comparison path.
     Logic {
@@ -87,6 +88,7 @@ pub struct ExecutablePlan {
     arch: Arch,
     query: Query,
     rows: usize,
+    partitions: usize,
     code: PlanCode,
 }
 
@@ -107,12 +109,18 @@ impl ExecutablePlan {
         self.rows
     }
 
+    /// Vault-group partitions the plan was compiled for (also checked
+    /// by [`Session::run_plan`] — partition counts change the layout).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
     /// Number of lowered instructions in the plan (micro-ops or
     /// logic-layer instructions).
     pub fn instructions(&self) -> usize {
         match &self.code {
             PlanCode::Micro(ops) => ops.len(),
-            PlanCode::Logic { program, .. } => program.instrs().len(),
+            PlanCode::Logic { program, .. } => program.total_instrs(),
         }
     }
 
@@ -154,11 +162,8 @@ impl Backend for HostX86Backend {
             arch: Arch::HostX86,
             query: query.clone(),
             rows: sys.config().rows,
-            code: PlanCode::Micro(hipe_compiler::lower_host_scan(
-                query,
-                sys.layout(),
-                sys.mask_base(),
-            )?),
+            partitions: sys.config().partitions,
+            code: PlanCode::Micro(hipe_compiler::lower_host_scan(query, sys.layout())?),
         })
     }
 
@@ -196,10 +201,10 @@ impl Backend for HmcIsaBackend {
             arch: Arch::HmcIsa,
             query: query.clone(),
             rows: sys.config().rows,
+            partitions: sys.config().partitions,
             code: PlanCode::Micro(hipe_compiler::lower_hmc_scan(
                 query,
                 sys.layout(),
-                sys.mask_base(),
                 self.op_size,
             )?),
         })
@@ -257,14 +262,15 @@ fn compile_logic(
     fused_aggregate: bool,
 ) -> Result<ExecutablePlan, CompileError> {
     let program = if query.aggregates() && fused_aggregate {
-        hipe_compiler::lower_logic_aggregate(query, sys.layout(), sys.mask_base(), predicated)?
+        hipe_compiler::lower_logic_aggregate(query, sys.layout(), predicated)?
     } else {
-        hipe_compiler::lower_logic_scan(query, sys.layout(), sys.mask_base(), predicated)?
+        hipe_compiler::lower_logic_scan(query, sys.layout(), predicated)?
     };
     Ok(ExecutablePlan {
         arch,
         query: query.clone(),
         rows: sys.config().rows,
+        partitions: sys.config().partitions,
         code: PlanCode::Logic {
             program,
             predicated,

@@ -7,7 +7,7 @@
 
 use crate::backend::{ExecutablePlan, PlanCode};
 use crate::gather;
-use crate::report::{PhaseBreakdown, RunReport};
+use crate::report::{PartitionPhase, PhaseBreakdown, RunReport};
 use crate::session::Session;
 use hipe_cache::CacheHierarchy;
 use hipe_cpu::{Core, MemoryPort};
@@ -86,6 +86,10 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
         }
     }
     let scan_end = core.finish();
+    // Scan-phase DRAM traffic, snapshotted before the gather mixes
+    // aggregate readback into the meters (mirrors the logic path's
+    // per-partition accounting).
+    let scan_stats = session.hmc().stats();
 
     // Functional outcome of the scan kernel: evaluate the predicates
     // over the column values resident in the cube image and write the
@@ -115,6 +119,11 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
     hmc.charge_cache_accesses(caches.stats().total_lookups());
     hmc.finish(cycles);
 
+    let dispatch = if dispatch_end > 0 {
+        dispatch_end
+    } else {
+        scan_end
+    };
     RunReport {
         arch: plan.arch(),
         result,
@@ -123,14 +132,21 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
             // The x86 baseline executes the scan in place (no separate
             // dispatch phase); the HMC ISA's phase ends with the last
             // vault dispatch response.
-            dispatch: if dispatch_end > 0 {
-                dispatch_end
-            } else {
-                scan_end
-            },
+            dispatch,
             scan: scan_end,
             gather_aggregate: cycles - scan_end,
         },
+        // Host-driven machines run undivided: one partition spanning
+        // the whole vault sweep.
+        partitions: vec![PartitionPhase {
+            partition: 0,
+            first_vault: 0,
+            vaults: sys.config().hmc.vaults,
+            instructions: ops.len() as u64,
+            dispatch,
+            scan: scan_end,
+            dram_bytes: scan_stats.bytes_read + scan_stats.bytes_written,
+        }],
         energy: hmc.energy(),
         core: core.stats(),
         cache: Some(caches.stats()),

@@ -44,6 +44,17 @@
 //!
 //! [`System::run`] and [`System::compare`] remain as one-shot wrappers.
 //!
+//! # Partitioned execution
+//!
+//! The logic machines scale out with [`SystemConfig::partitions`] (or
+//! [`System::partitioned`]): the table layout is carved into vault
+//! groups, the compiler emits one program per group, and a cluster of
+//! per-group engines scans them concurrently against the shared cube —
+//! each engine confined to its own vaults' banks, so the existing
+//! contention models price the overlap honestly. `partitions: 1` (the
+//! default) reproduces the paper's single-engine figures cycle for
+//! cycle; [`RunReport::partitions`] carries the per-engine breakdown.
+//!
 //! Every run is *co-simulated*: timing comes from the cycle models,
 //! while the functional result is computed from the bytes actually
 //! stored in the cube's memory image, so the returned
@@ -83,6 +94,6 @@ pub use backend::{
     Backend, ExecutablePlan, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Backend,
 };
 pub use hipe_compiler::CompileError;
-pub use report::{Arch, PhaseBreakdown, RunReport};
+pub use report::{Arch, PartitionPhase, PhaseBreakdown, RunReport};
 pub use session::Session;
 pub use system::{System, SystemConfig};

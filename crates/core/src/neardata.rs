@@ -1,14 +1,26 @@
-//! The near-data executor: HIVE and HIPE logic-layer execution.
+//! The near-data executor: HIVE and HIPE logic-layer execution on a
+//! cluster of per-vault-group engines.
 //!
-//! Aggregate queries run *fused* by default: the compiled program's
-//! per-region tail multiplies and reduces the matched values inside
-//! the logic layer, and the host only reads back the compact partial
-//! sums (timed as the `gather_aggregate` phase). Plans compiled with
+//! A compiled plan carries one [`hipe_isa::LogicProgram`] per vault
+//! group. The host posts the programs' instructions round-robin across
+//! partitions — so every engine starts draining its stream almost
+//! immediately — and then blocks until the *last* engine's unlock
+//! acknowledgement. Each engine runs only against its own vault
+//! group's banks (the [`EngineCluster`] enforces this), so N engines
+//! overlap their DRAM latencies and the scan phase shrinks
+//! near-linearly with the partition count until the shared link and
+//! readback bandwidth saturates. A single-partition plan reproduces
+//! the historical monolithic dispatch cycle for cycle.
+//!
+//! Aggregate queries run *fused* by default: the compiled programs'
+//! per-region tails multiply and reduce the matched values inside the
+//! logic layer, and the host only reads back the compact partial sums
+//! (timed as the `gather_aggregate` phase). Plans compiled with
 //! `fused_aggregate: false` keep the per-tuple host gather instead.
 
 use crate::backend::{ExecutablePlan, PlanCode};
 use crate::gather;
-use crate::report::{PhaseBreakdown, RunReport};
+use crate::report::{PartitionPhase, PhaseBreakdown, RunReport};
 use crate::session::Session;
 use hipe_compiler::{LogicScanProgram, REGION_ROWS};
 use hipe_cpu::{Core, MemoryPort};
@@ -16,7 +28,7 @@ use hipe_db::scan::ScanResult;
 use hipe_db::Bitmask;
 use hipe_hmc::Hmc;
 use hipe_isa::{LogicInstr, MicroOp, MicroOpKind, OpSize, VaultOp};
-use hipe_logic::Engine;
+use hipe_logic::EngineCluster;
 use hipe_sim::Cycle;
 
 /// Encoded size of one logic-layer instruction on the link: one 16 B
@@ -25,25 +37,28 @@ use hipe_sim::Cycle;
 const INSTR_FLIT_BYTES: u64 = 16;
 
 /// Memory port of the HIVE/HIPE architectures: `logic_dispatch`
-/// forwards the next queued instruction over the request link into the
-/// co-simulated engine; `logic_wait` blocks on the unlock
-/// acknowledgement. Demand reads/writes bypass the caches (the scan
-/// kernel itself never issues them; they exist so diagnostics and
-/// future mixed kernels have an uncached path).
-struct LogicPort<'a> {
+/// forwards the next scheduled instruction over the request link into
+/// its partition's co-simulated engine; `logic_wait` blocks on the
+/// last outstanding unlock acknowledgement. Demand reads/writes bypass
+/// the caches (the scan kernel itself never issues them; they exist so
+/// diagnostics and future mixed kernels have an uncached path).
+struct ClusterPort<'a> {
     hmc: &'a mut Hmc,
-    engine: &'a mut Engine,
-    /// Program instructions not yet dispatched.
-    next: std::slice::Iter<'a, LogicInstr>,
+    cluster: &'a mut EngineCluster,
+    /// Per-partition instruction cursors.
+    next: Vec<std::slice::Iter<'a, LogicInstr>>,
+    /// Round-robin dispatch schedule: the partition of each
+    /// `logic_dispatch` call, in order.
+    schedule: std::slice::Iter<'a, usize>,
     /// Link bytes of one instruction packet.
     instr_bytes: u64,
     /// One-way link latency (to convert arrival back to handoff time).
     link_latency: Cycle,
-    /// Arrival cycle of the most recent unlock acknowledgement.
-    ack: Cycle,
+    /// Arrival cycle of each partition's unlock acknowledgement.
+    acks: Vec<Cycle>,
 }
 
-impl MemoryPort for LogicPort<'_> {
+impl MemoryPort for ClusterPort<'_> {
     fn read(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
         self.hmc
             .access(cycle, addr, bytes, hipe_hmc::AccessKind::Read)
@@ -75,17 +90,20 @@ impl MemoryPort for LogicPort<'_> {
     }
 
     fn logic_dispatch(&mut self, cycle: Cycle) -> Cycle {
-        let instr = *self
-            .next
+        let p = *self
+            .schedule
             .next()
-            .expect("more dispatch micro-ops than program instructions");
+            .expect("more dispatch micro-ops than scheduled instructions");
+        let instr = *self.next[p]
+            .next()
+            .expect("schedule outran partition program");
         let at_cube = self.hmc.link_request(cycle, self.instr_bytes);
-        let outcome = self.engine.execute(self.hmc, instr, at_cube);
+        let outcome = self.cluster.execute(self.hmc, p, instr, at_cube);
         if matches!(instr, LogicInstr::Unlock) {
-            self.ack = self
+            self.acks[p] = self
                 .hmc
                 .link_response(outcome.done, self.instr_bytes)
-                .max(self.ack);
+                .max(self.acks[p]);
         }
         // The store-queue entry frees once the last byte left the host,
         // i.e. one link latency before the packet reaches the cube.
@@ -93,8 +111,30 @@ impl MemoryPort for LogicPort<'_> {
     }
 
     fn logic_wait(&mut self, cycle: Cycle) -> Cycle {
-        cycle.max(self.ack)
+        cycle.max(self.acks.iter().copied().max().unwrap_or(0))
     }
+}
+
+/// Builds the dispatch schedule: instruction `i` of every non-empty
+/// partition, partitions interleaved round-robin so all engines fill
+/// concurrently (with one partition this is exactly the historical
+/// in-order stream).
+fn dispatch_schedule(program: &LogicScanProgram) -> Vec<usize> {
+    let mut schedule = Vec::with_capacity(program.total_instrs());
+    let longest = program
+        .programs()
+        .iter()
+        .map(|p| p.len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..longest {
+        for (p, lp) in program.programs().iter().enumerate() {
+            if i < lp.len() {
+                schedule.push(p);
+            }
+        }
+    }
+    schedule
 }
 
 /// Executes a compiled logic-layer plan (HIVE or HIPE) against the
@@ -114,28 +154,42 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
     } else {
         sys.config().hive
     };
-    let mut engine = Engine::new(logic_cfg);
+    let nparts = program.partitions();
+    let specs: Vec<hipe_isa::PartitionSpec> = program.programs().iter().map(|p| p.spec()).collect();
+    let mut cluster = EngineCluster::new(logic_cfg, &specs);
     let mut core = Core::new(sys.config().core);
 
-    let mut dispatch_end = 0;
+    let schedule = dispatch_schedule(program);
+    let mut dispatch_ends = vec![0 as Cycle; nparts];
+    let mut acks = vec![0 as Cycle; nparts];
     {
-        let mut port = LogicPort {
+        let mut port = ClusterPort {
             hmc: session.hmc_mut(),
-            engine: &mut engine,
-            next: program.instrs().iter(),
+            cluster: &mut cluster,
+            next: program
+                .programs()
+                .iter()
+                .map(|p| p.instrs().iter())
+                .collect(),
+            schedule: schedule.iter(),
             instr_bytes: sys.config().hmc.packet_header_bytes + INSTR_FLIT_BYTES,
             link_latency: sys.config().hmc.link_latency,
-            ack: 0,
+            acks: vec![0; nparts],
         };
-        // The host posts one dispatch micro-op per instruction, then
-        // blocks on the engine's unlock acknowledgement.
-        for _ in 0..program.instrs().len() {
+        // The host posts one dispatch micro-op per scheduled
+        // instruction, then blocks on the last engine's unlock
+        // acknowledgement.
+        for &p in &schedule {
             let end = core.execute(MicroOp::new(MicroOpKind::LogicDispatch), &mut port);
-            dispatch_end = dispatch_end.max(end);
+            dispatch_ends[p] = dispatch_ends[p].max(end);
         }
         core.execute(MicroOp::new(MicroOpKind::LogicWait), &mut port);
+        acks.copy_from_slice(&port.acks);
     }
     let scan_end = core.finish();
+    // Scan-phase DRAM traffic per vault group, before the gather mixes
+    // host readback into the meters.
+    let scan_group_activity = session.hmc().group_activity(nparts);
 
     let bitmask = read_mask(session.hmc(), program, sys.layout().rows());
 
@@ -158,7 +212,7 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
 
     let hmc = session.hmc_mut();
     let result = if program.aggregate_base().is_some() {
-        // The functional aggregate comes from the partials the engine
+        // The functional aggregate comes from the partials the engines
         // actually stored, so the fused path is checked bit for bit
         // against the reference executor like everything else.
         let matches = bitmask.count_ones();
@@ -175,19 +229,38 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
     };
     hmc.finish(cycles);
 
+    let partitions = program
+        .programs()
+        .iter()
+        .enumerate()
+        .map(|(p, lp)| {
+            let activity = scan_group_activity[p];
+            PartitionPhase {
+                partition: p,
+                first_vault: lp.spec().first_vault,
+                vaults: lp.spec().vault_count,
+                instructions: lp.len() as u64,
+                dispatch: dispatch_ends[p],
+                scan: acks[p],
+                dram_bytes: activity.bytes_read + activity.bytes_written,
+            }
+        })
+        .collect();
+
     RunReport {
         arch: plan.arch(),
         result,
         cycles,
         phases: PhaseBreakdown {
-            dispatch: dispatch_end,
+            dispatch: dispatch_ends.iter().copied().max().unwrap_or(0),
             scan: scan_end,
             gather_aggregate: cycles - scan_end,
         },
+        partitions,
         energy: hmc.energy(),
         core: core.stats(),
         cache: None,
-        engine: Some(engine.stats()),
+        engine: Some(cluster.stats()),
         hmc: hmc.stats(),
     }
 }
@@ -300,5 +373,74 @@ mod tests {
             report.cycles,
             report.phases.scan + report.phases.gather_aggregate
         );
+    }
+
+    #[test]
+    fn single_partition_reports_one_whole_sweep_partition() {
+        let sys = System::new(2048, 40);
+        let report = run(&sys, true, &Query::q6());
+        assert_eq!(report.partitions.len(), 1);
+        let p = &report.partitions[0];
+        assert_eq!((p.partition, p.first_vault, p.vaults), (0, 0, 32));
+        assert_eq!(p.scan, report.phases.scan);
+        assert_eq!(p.dispatch, report.phases.dispatch);
+        assert!(p.dram_bytes > 0);
+    }
+
+    #[test]
+    fn partitioned_run_reports_per_engine_phases() {
+        let sys = System::partitioned(4096, 41, 4);
+        for predicated in [false, true] {
+            let report = run(&sys, predicated, &Query::q6());
+            assert_eq!(report.result, scan::reference(sys.table(), &Query::q6()));
+            assert_eq!(report.partitions.len(), 4);
+            let plan_instrs: u64 = report.partitions.iter().map(|p| p.instructions).sum();
+            assert_eq!(
+                plan_instrs,
+                report.engine.expect("cluster stats").instructions
+            );
+            for p in &report.partitions {
+                assert_eq!(p.vaults, 8);
+                assert_eq!(p.first_vault, p.partition * 8);
+                // 4096 rows spread all partitions: everyone worked.
+                assert!(p.instructions > 0);
+                assert!(p.scan > 0 && p.scan <= report.phases.scan);
+                assert!(p.dram_bytes > 0, "partition {} idle", p.partition);
+            }
+            // The overall scan ends with the slowest engine.
+            let max_scan = report.partitions.iter().map(|p| p.scan).max();
+            assert_eq!(max_scan, Some(report.phases.scan));
+        }
+    }
+
+    #[test]
+    fn empty_partitions_stay_idle() {
+        // 64 rows = 2 regions, both in partition 0 of 8.
+        let sys = System::partitioned(64, 42, 8);
+        let q = Query::quantity_below_permille(500);
+        let report = run(&sys, true, &q);
+        assert_eq!(report.result, scan::reference(sys.table(), &q));
+        assert_eq!(report.partitions.len(), 8);
+        assert!(report.partitions[0].instructions > 0);
+        for p in &report.partitions[1..] {
+            assert_eq!(p.instructions, 0, "partition {}", p.partition);
+            assert_eq!(p.scan, 0);
+            assert_eq!(p.dram_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_schedule_interleaves_partitions() {
+        let sys = System::partitioned(4096, 43, 4);
+        let plan = System::backend(Arch::Hive)
+            .compile(&sys, &Query::q6())
+            .expect("Q6 compiles");
+        let PlanCode::Logic { program, .. } = plan.code() else {
+            unreachable!("logic plan");
+        };
+        let schedule = dispatch_schedule(program);
+        assert_eq!(schedule.len(), program.total_instrs());
+        // The first four dispatches hit four different engines.
+        assert_eq!(&schedule[..4], &[0, 1, 2, 3]);
     }
 }

@@ -71,6 +71,33 @@ pub struct PhaseBreakdown {
     pub gather_aggregate: Cycle,
 }
 
+/// One execution partition's share of a run.
+///
+/// On HIVE/HIPE each partition is one vault group's logic-layer
+/// engine; the host-driven machines report a single partition covering
+/// the whole cube. An idle partition (its vault group holds no region
+/// of the table) reports zero instructions and zero-cycle phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionPhase {
+    /// Partition index.
+    pub partition: usize,
+    /// First vault of the partition's vault group.
+    pub first_vault: usize,
+    /// Vaults in the group.
+    pub vaults: usize,
+    /// Lowered instructions this partition executed.
+    pub instructions: u64,
+    /// Completion cycle of this partition's command dispatch.
+    pub dispatch: Cycle,
+    /// Completion cycle of this partition's scan (its engine's unlock
+    /// acknowledgement arriving at the host; [`PhaseBreakdown::scan`]
+    /// is the maximum over partitions).
+    pub scan: Cycle,
+    /// DRAM bytes moved in this partition's vault group during the
+    /// scan phase (reads + writes).
+    pub dram_bytes: u64,
+}
+
 /// Outcome of one query execution on one architecture.
 ///
 /// `result` is the functional answer (identical across architectures
@@ -86,6 +113,9 @@ pub struct RunReport {
     pub cycles: Cycle,
     /// Per-phase cycle breakdown (dispatch / scan / gather-aggregate).
     pub phases: PhaseBreakdown,
+    /// Per-partition breakdown: one entry per vault-group engine on
+    /// HIVE/HIPE, a single whole-cube entry on the host machines.
+    pub partitions: Vec<PartitionPhase>,
     /// Energy accumulated across cube, links, logic and caches.
     pub energy: EnergyBreakdown,
     /// Out-of-order core activity.
@@ -129,7 +159,16 @@ impl std::fmt::Display for RunReport {
             self.result.bitmask.len(),
             100.0 * self.selectivity(),
             self.energy,
-        )
+        )?;
+        if self.partitions.len() > 1 {
+            write!(f, " [{} engines: scan", self.partitions.len())?;
+            for (i, p) in self.partitions.iter().enumerate() {
+                let sep = if i == 0 { ' ' } else { '/' };
+                write!(f, "{sep}{}", p.scan)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
@@ -156,6 +195,15 @@ mod tests {
                 scan: cycles,
                 gather_aggregate: 0,
             },
+            partitions: vec![PartitionPhase {
+                partition: 0,
+                first_vault: 0,
+                vaults: 32,
+                instructions: 1,
+                dispatch: cycles,
+                scan: cycles,
+                dram_bytes: 0,
+            }],
             energy: EnergyBreakdown::new(),
             core: CoreStats::default(),
             cache: None,
@@ -189,6 +237,26 @@ mod tests {
         let r = dummy(Arch::Hive, 10, 0);
         assert!(r.to_string().starts_with("HIVE:"));
         assert_eq!(Arch::HmcIsa.to_string(), "HMC-ISA");
+    }
+
+    #[test]
+    fn display_appends_per_partition_scan_ends() {
+        let mut r = dummy(Arch::Hipe, 100, 0);
+        // A single partition keeps the historical one-line form.
+        assert!(!r.to_string().contains("engines"));
+        r.partitions = (0..4)
+            .map(|p| PartitionPhase {
+                partition: p,
+                first_vault: p * 8,
+                vaults: 8,
+                instructions: 10,
+                dispatch: 5,
+                scan: 20 + p as u64,
+                dram_bytes: 0,
+            })
+            .collect();
+        let s = r.to_string();
+        assert!(s.contains("[4 engines: scan 20/21/22/23]"), "display: {s}");
     }
 
     #[test]

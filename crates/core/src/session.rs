@@ -96,12 +96,19 @@ impl<'a> Session<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the plan was compiled for a differently-sized system.
+    /// Panics if the plan was compiled for a differently-sized or
+    /// differently-partitioned system (both change the address layout
+    /// the plan's code is baked against).
     pub fn run_plan(&mut self, plan: &ExecutablePlan) -> RunReport {
         assert_eq!(
             plan.rows(),
             self.sys.config().rows,
             "plan was compiled for a different system"
+        );
+        assert_eq!(
+            plan.partitions(),
+            self.sys.config().partitions,
+            "plan was compiled for a different system (partition count)"
         );
         self.reset();
         System::backend(plan.arch()).execute(self, plan)

@@ -4,12 +4,11 @@ use crate::backend::{Backend, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Ba
 use crate::report::{Arch, RunReport};
 use crate::session::Session;
 use hipe_cache::HierarchyConfig;
-use hipe_compiler::{aggregate_area_bytes, REGION_ROWS, STOCK_HMC_OP};
+use hipe_compiler::STOCK_HMC_OP;
 use hipe_cpu::CoreConfig;
 use hipe_db::scan::ScanResult;
 use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query};
 use hipe_hmc::{Hmc, HmcConfig};
-use hipe_isa::OpSize;
 use hipe_logic::LogicConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,6 +20,11 @@ pub struct SystemConfig {
     pub rows: usize,
     /// Generation seed.
     pub seed: u64,
+    /// Vault-group partitions (logic-layer engines). `1` — the paper's
+    /// single-engine configuration — reproduces the original layout
+    /// and cycle counts exactly; larger values (any divisor of the
+    /// 32-vault sweep) scan the table with one engine per vault group.
+    pub partitions: usize,
     /// Out-of-order core parameters.
     pub core: CoreConfig,
     /// Cache hierarchy parameters.
@@ -34,11 +38,13 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
-    /// Table I parameters at the given workload size.
+    /// Table I parameters at the given workload size (one engine, as
+    /// in the paper's figures).
     pub fn paper(rows: usize, seed: u64) -> Self {
         SystemConfig {
             rows,
             seed,
+            partitions: 1,
             core: CoreConfig::paper(),
             hierarchy: HierarchyConfig::paper(),
             hmc: HmcConfig::paper(),
@@ -100,25 +106,45 @@ impl System {
         System::with_config(SystemConfig::paper(rows, seed))
     }
 
+    /// Creates a paper-configured system scanned by `partitions`
+    /// vault-group engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` does not divide the 32-vault sweep.
+    pub fn partitioned(rows: usize, seed: u64, partitions: usize) -> Self {
+        System::with_config(SystemConfig {
+            partitions,
+            ..SystemConfig::paper(rows, seed)
+        })
+    }
+
     /// Creates a system with explicit component parameters.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.rows` is zero.
+    /// Panics if `cfg.rows` is zero, or if `cfg.partitions` does not
+    /// divide the vault sweep.
     pub fn with_config(cfg: SystemConfig) -> Self {
         assert!(cfg.rows > 0, "a system needs at least one tuple");
+        // Vault-group ownership is computed from the layout's sweep
+        // constant; it must match the cube geometry whenever the table
+        // is actually partitioned (single-partition layouts never
+        // consult it, so non-default vault counts stay usable there).
+        assert!(
+            cfg.partitions == 1 || cfg.hmc.vaults == hipe_db::VAULTS,
+            "partitioned layouts require the cube's {} vaults",
+            hipe_db::VAULTS
+        );
         let table = LineitemTable::generate(cfg.rows, cfg.seed);
-        let layout = DsmLayout::new(0, cfg.rows);
-        // The mask area follows the table; DSM column strides are 256 B
-        // aligned, so `layout.bytes()` already is too. The fused
-        // aggregate's per-region 8 B partial-sum slots sit right after
-        // the mask area (both are part of the session reset protocol's
-        // zeroed output region).
-        let mask_base = layout.bytes();
-        let regions = cfg.rows.div_ceil(REGION_ROWS);
-        let image_len = (mask_base
-            + regions as u64 * OpSize::MAX.bytes()
-            + aggregate_area_bytes(cfg.rows)) as usize;
+        // The layout owns the whole image map: column arrays, then the
+        // mask output area, then the aggregate partial-sum area (the
+        // latter two are the session reset protocol's zeroed region).
+        // With partitions > 1 every area is padded to whole vault
+        // sweeps so each vault-group engine stays inside its own banks.
+        let layout = DsmLayout::partitioned(0, cfg.rows, cfg.partitions);
+        let mask_base = layout.mask_base();
+        let image_len = layout.image_bytes() as usize;
         System {
             cfg,
             table,
@@ -277,6 +303,53 @@ mod tests {
         for arch in Arch::ALL {
             assert_eq!(System::backend(arch).arch(), arch);
         }
+    }
+
+    #[test]
+    fn layout_vault_constant_matches_cube_geometry() {
+        // The partitioned layout's vault-sweep constant and the cube's
+        // vault count must agree, or region-to-vault ownership is
+        // fiction.
+        assert_eq!(hipe_db::VAULTS, HmcConfig::paper().vaults);
+    }
+
+    #[test]
+    fn partitioned_systems_pad_every_area_to_vault_sweeps() {
+        let sys = System::partitioned(1000, 2, 4);
+        assert_eq!(sys.config().partitions, 4);
+        assert_eq!(sys.layout().partitions(), 4);
+        assert_eq!(sys.mask_base() % 8192, 0);
+        assert_eq!(
+            sys.fresh_hmc().image_len() as u64,
+            sys.layout().image_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn bad_partition_count_panics() {
+        let _ = System::partitioned(100, 1, 5);
+    }
+
+    #[test]
+    fn single_partition_allows_nonstandard_vault_counts() {
+        // Only partitioned layouts depend on the 32-vault sweep;
+        // a single-engine experiment may still shrink the cube.
+        let mut cfg = SystemConfig::paper(256, 1);
+        cfg.hmc.vaults = 16;
+        let sys = System::with_config(cfg);
+        let q = Query::quantity_below_permille(500);
+        let report = sys.run(Arch::Hipe, &q);
+        assert_eq!(report.result, hipe_db::scan::reference(sys.table(), &q));
+    }
+
+    #[test]
+    #[should_panic(expected = "require the cube's 32 vaults")]
+    fn partitioned_configs_reject_nonstandard_vault_counts() {
+        let mut cfg = SystemConfig::paper(256, 1);
+        cfg.hmc.vaults = 16;
+        cfg.partitions = 4;
+        let _ = System::with_config(cfg);
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod rng;
 pub mod scan;
 
 pub use bitmask::{Bitmask, IterOnes};
-pub use layout::{DsmLayout, NsmLayout, COLUMN_BYTES, NSM_FIELDS, TUPLE_BYTES};
+pub use layout::{
+    DsmLayout, NsmLayout, COLUMN_BYTES, NSM_FIELDS, REGION_BYTES, REGION_ROWS, TUPLE_BYTES, VAULTS,
+};
 pub use lineitem::{Column, LineitemTable, SF1_ROWS};
 pub use query::{CmpOp, ColumnPredicate, Query};
 pub use rng::SplitMix64;

@@ -43,6 +43,27 @@ pub struct HmcStats {
     pub fu_ops: u64,
 }
 
+/// Per-vault activity counters: the vault-group accounting behind the
+/// partitioned execution reports (which vault groups a run actually
+/// worked, and how evenly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VaultActivity {
+    /// Row activations in this vault's banks.
+    pub activations: u64,
+    /// Bytes read from this vault's DRAM cores.
+    pub bytes_read: u64,
+    /// Bytes written to this vault's DRAM cores.
+    pub bytes_written: u64,
+}
+
+impl std::ops::AddAssign for VaultActivity {
+    fn add_assign(&mut self, other: VaultActivity) {
+        self.activations += other.activations;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
 /// The Hybrid Memory Cube: timing, functional storage and energy.
 ///
 /// The cube exposes three request paths:
@@ -80,6 +101,8 @@ pub struct Hmc {
     rsp_link: ThroughputPipe,
     mem: Vec<u8>,
     stats: HmcStats,
+    /// Per-vault accounting (run-scoped, reset with the timing state).
+    vault_activity: Vec<VaultActivity>,
     energy_model: EnergyModel,
     energy: EnergyBreakdown,
 }
@@ -101,6 +124,7 @@ impl Hmc {
             rsp_link: ThroughputPipe::new(num, den, cfg.link_latency),
             mem: vec![0; image_bytes],
             stats: HmcStats::default(),
+            vault_activity: vec![VaultActivity::default(); cfg.vaults],
             energy_model: EnergyModel::paper(),
             energy: EnergyBreakdown::default(),
             cfg,
@@ -210,12 +234,15 @@ impl Hmc {
         let loc = self.mapping.locate(addr);
         let done = self.vaults[loc.vault].access(cycle, loc.bank, bytes, write);
         self.stats.activations += 1;
+        self.vault_activity[loc.vault].activations += 1;
         self.energy.add_activate(&self.energy_model, 1);
         if write {
             self.stats.bytes_written += bytes;
+            self.vault_activity[loc.vault].bytes_written += bytes;
             self.energy.add_dram_write(&self.energy_model, bytes);
         } else {
             self.stats.bytes_read += bytes;
+            self.vault_activity[loc.vault].bytes_read += bytes;
             self.energy.add_dram_read(&self.energy_model, bytes);
         }
         done
@@ -239,6 +266,11 @@ impl Hmc {
         self.req_link = ThroughputPipe::new(num, den, self.cfg.link_latency);
         self.rsp_link = ThroughputPipe::new(num, den, self.cfg.link_latency);
         self.stats = HmcStats::default();
+        // The per-vault(-group) accounting the engine cluster reads is
+        // run-scoped like the aggregate stats: a warm run must start
+        // from the same zeroed meters a cold cube has, or warm != cold
+        // under partitioned execution.
+        self.vault_activity = vec![VaultActivity::default(); self.cfg.vaults];
         self.energy = EnergyBreakdown::default();
     }
 
@@ -307,6 +339,37 @@ impl Hmc {
     /// Activity counters.
     pub fn stats(&self) -> HmcStats {
         self.stats
+    }
+
+    /// Per-vault activity counters (one entry per vault).
+    pub fn vault_activity(&self) -> &[VaultActivity] {
+        &self.vault_activity
+    }
+
+    /// Per-vault-group activity: folds the per-vault counters into
+    /// `groups` equally sized contiguous vault groups — the partition
+    /// view of the cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `groups` is non-zero and divides the vault count.
+    pub fn group_activity(&self, groups: usize) -> Vec<VaultActivity> {
+        assert!(
+            groups > 0 && self.cfg.vaults.is_multiple_of(groups),
+            "{groups} groups do not divide {} vaults",
+            self.cfg.vaults
+        );
+        let per = self.cfg.vaults / groups;
+        self.vault_activity
+            .chunks(per)
+            .map(|chunk| {
+                let mut sum = VaultActivity::default();
+                for &v in chunk {
+                    sum += v;
+                }
+                sum
+            })
+            .collect()
     }
 
     /// Energy accumulated so far.
@@ -430,6 +493,61 @@ mod tests {
             h.access(0, 0, 256, AccessKind::Read),
             cold.access(0, 0, 256, AccessKind::Read)
         );
+    }
+
+    #[test]
+    fn vault_activity_follows_the_interleave() {
+        let mut h = cube();
+        // Blocks 0 and 1 are vaults 0 and 1; block 32 wraps to vault 0.
+        h.internal_read(0, 0, 256);
+        h.internal_read(0, 256, 256);
+        h.internal_write(0, 32 * 256, 256);
+        let v = h.vault_activity();
+        assert_eq!(v[0].activations, 2);
+        assert_eq!(v[0].bytes_read, 256);
+        assert_eq!(v[0].bytes_written, 256);
+        assert_eq!(v[1].activations, 1);
+        assert_eq!(v[2], VaultActivity::default());
+        // The per-vault counters partition the aggregate ones.
+        let total: u64 = v.iter().map(|a| a.activations).sum();
+        assert_eq!(total, h.stats().activations);
+    }
+
+    #[test]
+    fn group_activity_folds_vault_groups() {
+        let mut h = cube();
+        h.internal_read(0, 0, 256); // vault 0 -> group 0 of 4
+        h.internal_read(0, 9 * 256, 256); // vault 9 -> group 1 of 4
+        let groups = h.group_activity(4);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].bytes_read, 256);
+        assert_eq!(groups[1].bytes_read, 256);
+        assert_eq!(groups[2].bytes_read + groups[3].bytes_read, 0);
+        // One group == the whole cube.
+        assert_eq!(h.group_activity(1)[0].bytes_read, h.stats().bytes_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn group_activity_rejects_uneven_splits() {
+        let h = cube();
+        let _ = h.group_activity(5);
+    }
+
+    #[test]
+    fn reset_run_state_clears_vault_accounting() {
+        // Regression (partitioned execution): a warm session's reset
+        // must also zero the per-vault-group meters, or the second run
+        // of a cluster reports stale balance numbers.
+        let mut h = cube();
+        h.internal_read(0, 0, 256);
+        assert!(h.vault_activity()[0].activations > 0);
+        h.reset_run_state();
+        assert!(h
+            .vault_activity()
+            .iter()
+            .all(|v| *v == VaultActivity::default()));
+        assert_eq!(h.group_activity(4)[0], VaultActivity::default());
     }
 
     #[test]

@@ -42,6 +42,6 @@ mod vault;
 
 pub use address::{AddressMapping, Location};
 pub use config::{DramTimings, HmcConfig};
-pub use cube::{AccessKind, Hmc, HmcStats, Response};
+pub use cube::{AccessKind, Hmc, HmcStats, Response, VaultActivity};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use vault::Vault;

@@ -23,6 +23,33 @@ pub struct EngineStats {
     pub blocks: u64,
 }
 
+impl EngineStats {
+    /// Returns the counter-wise sum of `self` and `other` (used by the
+    /// [`EngineCluster`](crate::EngineCluster) to report one merged
+    /// activity view across its engines).
+    pub fn merge(mut self, other: EngineStats) -> EngineStats {
+        self += other;
+        self
+    }
+}
+
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, other: EngineStats) {
+        self.instructions += other.instructions;
+        self.dram_loads += other.dram_loads;
+        self.dram_stores += other.dram_stores;
+        self.alu_ops += other.alu_ops;
+        self.squashed += other.squashed;
+        self.blocks += other.blocks;
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> EngineStats {
+        iter.fold(EngineStats::default(), EngineStats::merge)
+    }
+}
+
 /// Result of executing one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outcome {
@@ -320,6 +347,43 @@ mod tests {
             size: SIZE,
             pred: None,
         }
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = EngineStats {
+            instructions: 10,
+            dram_loads: 3,
+            dram_stores: 2,
+            alu_ops: 4,
+            squashed: 1,
+            blocks: 1,
+        };
+        let b = EngineStats {
+            instructions: 5,
+            dram_loads: 1,
+            dram_stores: 1,
+            alu_ops: 2,
+            squashed: 0,
+            blocks: 1,
+        };
+        let merged = a.merge(b);
+        assert_eq!(
+            merged,
+            EngineStats {
+                instructions: 15,
+                dram_loads: 4,
+                dram_stores: 3,
+                alu_ops: 6,
+                squashed: 1,
+                blocks: 2,
+            }
+        );
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, merged);
+        assert_eq!([a, b].into_iter().sum::<EngineStats>(), merged);
+        assert_eq!(a.merge(EngineStats::default()), a);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! predication decisions are therefore driven by the actual data, as
 //! they are in hardware.
 //!
+//! The paper's logic layer holds one such engine *per vault group*;
+//! the [`EngineCluster`] models N of them co-simulated against a
+//! shared cube, each with its own sequencer and register bank, and
+//! enforces that every engine touches only its own vault group's
+//! banks.
+//!
 //! # Example
 //!
 //! ```
@@ -47,9 +53,11 @@
 //! ```
 
 mod bank;
+mod cluster;
 mod config;
 mod engine;
 
 pub use bank::RegisterBank;
+pub use cluster::EngineCluster;
 pub use config::LogicConfig;
 pub use engine::{Engine, EngineStats, Outcome};

@@ -31,6 +31,7 @@ fn assert_same_report(a: &RunReport, b: &RunReport, what: &str) {
     assert_eq!(a.result, b.result, "{what}: scan result differs");
     assert_eq!(a.cycles, b.cycles, "{what}: cycles differ");
     assert_eq!(a.phases, b.phases, "{what}: phase breakdown differs");
+    assert_eq!(a.partitions, b.partitions, "{what}: partitions differ");
     assert_eq!(a.hmc, b.hmc, "{what}: cube stats differ");
     assert_eq!(a.core, b.core, "{what}: core stats differ");
     assert_eq!(a.cache, b.cache, "{what}: cache stats differ");
