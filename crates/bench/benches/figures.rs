@@ -17,21 +17,36 @@
 //! `System` (the partitioned layout pads areas to vault sweeps), so
 //! each pays one materialization.
 //!
-//! Besides the human-readable table, both sweeps are written to
+//! A third sweep (`serve_1` / `serve_2` / `serve_4`) drives the
+//! `hipe-serve` service scheduler: a fixed closed-loop load (a
+//! weighted query mix over saturating clients) against a sharded
+//! cluster of that many cubes, reporting service throughput
+//! (queries per gigacycle) and p50/p95/p99 latency.
+//!
+//! Besides the human-readable table, all sweeps are written to
 //! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
 //! the performance trajectory of the simulator is machine-checkable
 //! across PRs (`check_figures` validates the schema, including that
-//! `par_*` cycles fall monotonically with the engine count).
+//! `par_*` cycles fall monotonically with the engine count and
+//! `serve_*` throughput rises monotonically with the shard count).
 //!
 //! Run with `cargo bench -p hipe-bench --bench figures`; scale the
 //! table with `HIPE_BENCH_ROWS`.
 
 use hipe::{Arch, RunReport, System};
 use hipe_db::Query;
+use hipe_serve::{run_service, Cluster, ServiceConfig, ServiceReport};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const SEED: u64 = 2018;
+
+/// Queries served per service-sweep point.
+const SERVE_QUERIES: usize = 96;
+
+/// Closed-loop clients driving the service sweep (enough to saturate
+/// every shard count in the sweep).
+const SERVE_CLIENTS: usize = 8;
 
 fn main() {
     let rows = hipe_bench::bench_rows();
@@ -152,6 +167,49 @@ fn main() {
         json_points.push(json_point(&name, &q6, &reports, wall.as_secs_f64() * 1e3));
     }
 
+    // Service sweep: the same saturating closed-loop load against 1,
+    // 2 and 4 cube shards on HIPE. Throughput (queries per gigacycle)
+    // must not fall as shards are added — check_figures enforces it.
+    println!(
+        "# sharded service sweep (HIPE closed loop, {SERVE_QUERIES} queries, \
+         {SERVE_CLIENTS} clients)"
+    );
+    println!(
+        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10} {:>12}",
+        "point", "shards", "q_per_Gcyc", "p50", "p95", "p99", "sim_wall_ms"
+    );
+    let mix = vec![
+        (Query::q6(), 1),
+        (Query::quantity_below_permille(100), 2),
+        (Query::quantity_below_permille(500).with_aggregate(), 1),
+    ];
+    let mut prev_qpgc = 0;
+    for n in [1usize, 2, 4] {
+        let cluster = Cluster::new(rows, SEED, n);
+        let cfg = ServiceConfig::closed(Arch::Hipe, SERVE_QUERIES, mix.clone(), SERVE_CLIENTS);
+        let start = Instant::now();
+        let report = run_service(&cluster, &cfg);
+        let wall = start.elapsed();
+        assert_eq!(report.queries, SERVE_QUERIES as u64);
+        assert!(
+            report.queries_per_gigacycle() >= prev_qpgc,
+            "service throughput fell at {n} shards"
+        );
+        prev_qpgc = report.queries_per_gigacycle();
+        let name = format!("serve_{n}");
+        println!(
+            "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10} {:>12.1}",
+            name,
+            n,
+            report.queries_per_gigacycle(),
+            report.latency.p50,
+            report.latency.p95,
+            report.latency.p99,
+            wall.as_secs_f64() * 1e3,
+        );
+        json_points.push(serve_json_point(&name, &report, wall.as_secs_f64() * 1e3));
+    }
+
     // Default next to the workspace root regardless of the bench CWD.
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json").into()
@@ -199,6 +257,26 @@ fn json_point(name: &str, query: &Query, reports: &[RunReport], wall_ms: f64) ->
     }
     out.push_str("\n      }\n    }");
     out
+}
+
+/// Renders one service-sweep point. No per-arch objects here — the
+/// row describes the service (throughput + latency percentiles), and
+/// every integer field is digit-parseable by `check_figures`.
+fn serve_json_point(name: &str, report: &ServiceReport, wall_ms: f64) -> String {
+    format!(
+        "    {{\n      \"name\": \"{name}\",\n      \"shards\": {},\n      \
+         \"queries\": {},\n      \"makespan_cycles\": {},\n      \
+         \"queries_per_gigacycle\": {},\n      \"p50_cycles\": {},\n      \
+         \"p95_cycles\": {},\n      \"p99_cycles\": {},\n      \
+         \"sim_wall_ms\": {wall_ms:.3}\n    }}",
+        report.shards,
+        report.queries,
+        report.makespan,
+        report.queries_per_gigacycle(),
+        report.latency.p50,
+        report.latency.p95,
+        report.latency.p99,
+    )
 }
 
 /// Assembles the sweep document.

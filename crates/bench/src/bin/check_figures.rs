@@ -12,6 +12,12 @@
 //! count grows — a regression that makes more engines slower fails
 //! the pipeline.
 //!
+//! The sharded service sweep (`serve_1` / `serve_2` / `serve_4`,
+//! emitted by the `hipe-serve` scheduler) is validated for presence,
+//! ordered latency percentiles, and *monotonically non-decreasing*
+//! throughput (queries per gigacycle) as the shard count grows — a
+//! regression where adding cubes slows the service down fails CI.
+//!
 //! Usage: run the `figures` bench first, then
 //! `cargo run -p hipe-bench --bin check_figures`. The file location
 //! follows the bench's convention: `HIPE_BENCH_JSON` if set, else
@@ -36,6 +42,10 @@ const LOGIC_ARCHS: [&str; 2] = ["HIVE", "HIPE"];
 /// Point names of the partitioned-execution sweep, in engine-count
 /// order (cycles must not increase along this list).
 const PARTITION_POINTS: [&str; 4] = ["par_1", "par_2", "par_4", "par_8"];
+
+/// Point names of the sharded service sweep, in shard-count order
+/// (throughput must not decrease along this list).
+const SERVE_POINTS: [&str; 3] = ["serve_1", "serve_2", "serve_4"];
 
 fn main() -> ExitCode {
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
@@ -98,6 +108,11 @@ fn check(text: &str) -> Result<usize, String> {
     }
 
     for (name, block) in &blocks {
+        // Service-sweep points describe the scheduler, not per-arch
+        // runs; their own fields are validated below.
+        if name.starts_with("serve_") {
+            continue;
+        }
         // Partition-sweep points carry only the logic machines.
         let archs: &[&str] = if name.starts_with("par_") {
             &LOGIC_ARCHS
@@ -155,7 +170,52 @@ fn check(text: &str) -> Result<usize, String> {
             prev = (scan, cycles);
         }
     }
+
+    // Service sweep: every shard count present, throughput monotone
+    // non-decreasing in shard count, percentiles present and ordered.
+    let mut prev_qpgc = 0;
+    for wanted in SERVE_POINTS {
+        let (_, block) = blocks
+            .iter()
+            .find(|(name, _)| name == wanted)
+            .ok_or_else(|| format!("service sweep point {wanted} missing"))?;
+        let qpgc = point_field(block, "queries_per_gigacycle")
+            .ok_or_else(|| format!("point {wanted} lacks queries_per_gigacycle"))?;
+        if qpgc == 0 {
+            return Err(format!("point {wanted}: zero service throughput"));
+        }
+        if qpgc < prev_qpgc {
+            return Err(format!(
+                "point {wanted}: throughput fell with more shards \
+                 ({prev_qpgc} -> {qpgc} q/Gcyc)"
+            ));
+        }
+        prev_qpgc = qpgc;
+        let p50 = point_field(block, "p50_cycles")
+            .ok_or_else(|| format!("point {wanted} lacks p50_cycles"))?;
+        let p95 = point_field(block, "p95_cycles")
+            .ok_or_else(|| format!("point {wanted} lacks p95_cycles"))?;
+        let p99 = point_field(block, "p99_cycles")
+            .ok_or_else(|| format!("point {wanted} lacks p99_cycles"))?;
+        if p50 == 0 || p50 > p95 || p95 > p99 {
+            return Err(format!(
+                "point {wanted}: latency percentiles disordered \
+                 (p50 {p50}, p95 {p95}, p99 {p99})"
+            ));
+        }
+    }
     Ok(blocks.len())
+}
+
+/// Extracts top-level integer `field` from a point block.
+fn point_field(block: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\": ");
+    let at = block.find(&key)? + key.len();
+    let digits: String = block[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 /// Extracts integer `field` from `arch`'s object within a point block.
@@ -205,7 +265,15 @@ mod tests {
         )
     }
 
-    fn doc_with(gather_q6: u64, par_cycles: [u64; 4]) -> String {
+    fn serve_point(name: &str, qpgc: u64, p50: u64, p95: u64, p99: u64) -> String {
+        format!(
+            "{{\"name\": \"{name}\", \"shards\": 1, \"queries\": 96, \
+             \"makespan_cycles\": 1000, \"queries_per_gigacycle\": {qpgc}, \
+             \"p50_cycles\": {p50}, \"p95_cycles\": {p95}, \"p99_cycles\": {p99}}}"
+        )
+    }
+
+    fn doc_full(gather_q6: u64, par_cycles: [u64; 4], serve_qpgc: [u64; 3]) -> String {
         let mut points = vec![
             four_arch_point("sel_2%", 0),
             four_arch_point("agg_2%", 7),
@@ -216,11 +284,18 @@ mod tests {
         for (name, cycles) in PARTITION_POINTS.iter().zip(par_cycles) {
             points.push(par_point(name, cycles));
         }
+        for (name, qpgc) in SERVE_POINTS.iter().zip(serve_qpgc) {
+            points.push(serve_point(name, qpgc, 100, 200, 300));
+        }
         format!(
             "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
              \"points\": [{}]}}",
             points.join(", ")
         )
+    }
+
+    fn doc_with(gather_q6: u64, par_cycles: [u64; 4]) -> String {
+        doc_full(gather_q6, par_cycles, [100, 180, 300])
     }
 
     fn doc(gather_q6: u64) -> String {
@@ -229,7 +304,7 @@ mod tests {
 
     #[test]
     fn accepts_a_complete_document() {
-        assert_eq!(check(&doc(10)), Ok(9));
+        assert_eq!(check(&doc(10)), Ok(12));
     }
 
     #[test]
@@ -268,6 +343,39 @@ mod tests {
         // Non-increasing, not strictly decreasing, is acceptable (the
         // knee flattens once dispatch bandwidth saturates).
         assert!(check(&doc_with(10, [800, 400, 400, 400])).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_serve_points() {
+        let text = doc(10).replace("serve_2", "serve_3");
+        assert!(check(&text).unwrap_err().contains("serve_2"));
+    }
+
+    #[test]
+    fn rejects_throughput_falling_with_more_shards() {
+        let text = doc_full(10, [800, 400, 200, 100], [100, 90, 300]);
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("serve_2") && err.contains("fell"), "{err}");
+    }
+
+    #[test]
+    fn accepts_flat_service_scaling() {
+        // Non-decreasing, not strictly increasing, is acceptable (a
+        // tiny table can saturate the front end before the shards).
+        assert!(check(&doc_full(10, [800, 400, 200, 100], [100, 100, 100])).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_or_disordered_service_rows() {
+        let text = doc_full(10, [800, 400, 200, 100], [0, 100, 200]);
+        assert!(check(&text)
+            .unwrap_err()
+            .contains("zero service throughput"));
+        let text = doc(10).replace(
+            "\"p95_cycles\": 200, \"p99_cycles\": 300",
+            "\"p95_cycles\": 400, \"p99_cycles\": 300",
+        );
+        assert!(check(&text).unwrap_err().contains("disordered"));
     }
 
     #[test]

@@ -158,6 +158,7 @@ impl Backend for HostX86Backend {
     }
 
     fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
+        sys.note_compilation();
         Ok(ExecutablePlan {
             arch: Arch::HostX86,
             query: query.clone(),
@@ -197,6 +198,7 @@ impl Backend for HmcIsaBackend {
     }
 
     fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
+        sys.note_compilation();
         Ok(ExecutablePlan {
             arch: Arch::HmcIsa,
             query: query.clone(),
@@ -261,6 +263,7 @@ fn compile_logic(
     predicated: bool,
     fused_aggregate: bool,
 ) -> Result<ExecutablePlan, CompileError> {
+    sys.note_compilation();
     let program = if query.aggregates() && fused_aggregate {
         hipe_compiler::lower_logic_aggregate(query, sys.layout(), predicated)?
     } else {

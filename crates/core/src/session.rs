@@ -5,6 +5,8 @@ use crate::report::{Arch, RunReport};
 use crate::system::System;
 use hipe_db::Query;
 use hipe_hmc::Hmc;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A warm execution context over one [`System`].
 ///
@@ -37,6 +39,12 @@ use hipe_hmc::Hmc;
 pub struct Session<'a> {
     sys: &'a System,
     hmc: Hmc,
+    /// Compiled-plan cache: one entry per distinct `(arch, query)`
+    /// the session has run. Batch loops re-running the same queries
+    /// compile once, not per run ([`System::compilations`] counts).
+    /// Keyed arch-first so the hot hit path looks up by `&Query`
+    /// without cloning it.
+    plans: HashMap<Arch, HashMap<Query, Rc<ExecutablePlan>>>,
 }
 
 impl<'a> Session<'a> {
@@ -46,6 +54,7 @@ impl<'a> Session<'a> {
         Session {
             sys,
             hmc: sys.fresh_hmc(),
+            plans: HashMap::new(),
         }
     }
 
@@ -81,15 +90,37 @@ impl<'a> Session<'a> {
 
     /// Compiles and executes `query` on `arch` against the warm image.
     ///
+    /// Plans are cached per `(arch, query)`: the first run of a query
+    /// lowers it, every later run of the same query on the same arch
+    /// reuses the compiled [`ExecutablePlan`] (compilation is
+    /// deterministic, so the cached plan is the plan a fresh compile
+    /// would produce; [`System::compilations`] observes the saving).
+    ///
     /// Compile errors cannot occur here: a live [`System`] always has
     /// at least one row, which is the only way a query over it could
     /// fail to lower. (Driving a [`Backend`](crate::Backend) by hand
     /// exposes the typed error.)
     pub fn run(&mut self, arch: Arch, query: &Query) -> RunReport {
-        let plan = System::backend(arch)
-            .compile(self.sys, query)
-            .expect("queries over a live system always compile");
+        let plan = self.plan(arch, query);
         self.run_plan(&plan)
+    }
+
+    /// The session's cached plan for `(arch, query)`, compiling it on
+    /// first use.
+    pub fn plan(&mut self, arch: Arch, query: &Query) -> Rc<ExecutablePlan> {
+        if let Some(plan) = self.plans.get(&arch).and_then(|m| m.get(query)) {
+            return Rc::clone(plan);
+        }
+        let plan = Rc::new(
+            System::backend(arch)
+                .compile(self.sys, query)
+                .expect("queries over a live system always compile"),
+        );
+        self.plans
+            .entry(arch)
+            .or_default()
+            .insert(query.clone(), Rc::clone(&plan));
+        plan
     }
 
     /// Executes an already-compiled plan against the warm image.

@@ -20,6 +20,12 @@ pub struct SystemConfig {
     pub rows: usize,
     /// Generation seed.
     pub seed: u64,
+    /// Global row index this system's table starts at. `0` — the
+    /// default — generates the monolithic table; a `hipe-serve`
+    /// cluster shard sets it to its range start so its rows match the
+    /// monolithic table's rows value for value
+    /// (`LineitemTable::generate_range`).
+    pub row_offset: usize,
     /// Vault-group partitions (logic-layer engines). `1` — the paper's
     /// single-engine configuration — reproduces the original layout
     /// and cycle counts exactly; larger values (any divisor of the
@@ -44,6 +50,7 @@ impl SystemConfig {
         SystemConfig {
             rows,
             seed,
+            row_offset: 0,
             partitions: 1,
             core: CoreConfig::paper(),
             hierarchy: HierarchyConfig::paper(),
@@ -85,6 +92,10 @@ pub struct System {
     /// Times the table image was materialized into a cube (sessions
     /// amortize this; the batch tests assert it stays at one).
     materializations: AtomicU64,
+    /// Times a backend lowered a query against this system (the
+    /// session plan cache amortizes this; the batch tests assert one
+    /// compile per distinct query per arch).
+    compilations: AtomicU64,
 }
 
 impl Clone for System {
@@ -96,6 +107,7 @@ impl Clone for System {
             mask_base: self.mask_base,
             image_len: self.image_len,
             materializations: AtomicU64::new(self.materializations.load(Ordering::Relaxed)),
+            compilations: AtomicU64::new(self.compilations.load(Ordering::Relaxed)),
         }
     }
 }
@@ -136,7 +148,7 @@ impl System {
             "partitioned layouts require the cube's {} vaults",
             hipe_db::VAULTS
         );
-        let table = LineitemTable::generate(cfg.rows, cfg.seed);
+        let table = LineitemTable::generate_range(cfg.seed, cfg.row_offset, cfg.rows);
         // The layout owns the whole image map: column arrays, then the
         // mask output area, then the aggregate partial-sum area (the
         // latter two are the session reset protocol's zeroed region).
@@ -152,6 +164,7 @@ impl System {
             mask_base,
             image_len,
             materializations: AtomicU64::new(0),
+            compilations: AtomicU64::new(0),
         }
     }
 
@@ -200,6 +213,19 @@ impl System {
     /// [`run`](Self::run) adds one; warm batch runs add none).
     pub fn materializations(&self) -> u64 {
         self.materializations.load(Ordering::Relaxed)
+    }
+
+    /// How many times a [`Backend`] has lowered a query against this
+    /// system so far. [`Session`]s cache compiled plans, so a batch
+    /// loop re-running the same queries adds nothing here after the
+    /// first pass — the batch tests assert exactly that.
+    pub fn compilations(&self) -> u64 {
+        self.compilations.load(Ordering::Relaxed)
+    }
+
+    /// Records one query lowering (called by every [`Backend::compile`]).
+    pub(crate) fn note_compilation(&self) {
+        self.compilations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Opens a warm execution session, materializing the cube image

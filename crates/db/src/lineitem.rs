@@ -88,10 +88,36 @@ pub struct LineitemTable {
     seed: u64,
 }
 
+/// RNG draws one generated row consumes (shipdate, discount, quantity,
+/// part price — each exactly one `range_i64`). [`LineitemTable::
+/// generate_range`] jumps the stream by this much per skipped row, so
+/// the constant must track the body of the generation loop.
+const DRAWS_PER_ROW: u64 = 4;
+
 impl LineitemTable {
     /// Generates `rows` tuples deterministically from `seed`.
     pub fn generate(rows: usize, seed: u64) -> Self {
+        LineitemTable::generate_range(seed, 0, rows)
+    }
+
+    /// Generates rows `first_row .. first_row + rows` of the table
+    /// that [`generate`](Self::generate) would produce from `seed` —
+    /// the shard-aware generator: a shard covering a contiguous row
+    /// range materializes exactly the monolithic table's rows for that
+    /// range, value for value, without generating the rows before it
+    /// (the RNG stream is jumped in O(1)).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hipe_db::{Column, LineitemTable};
+    /// let whole = LineitemTable::generate(100, 7);
+    /// let shard = LineitemTable::generate_range(7, 60, 40);
+    /// assert_eq!(shard.column(Column::Quantity), &whole.column(Column::Quantity)[60..]);
+    /// ```
+    pub fn generate_range(seed: u64, first_row: usize, rows: usize) -> Self {
         let mut rng = SplitMix64::new(seed);
+        rng.skip(first_row as u64 * DRAWS_PER_ROW);
         let mut shipdate = Vec::with_capacity(rows);
         let mut discount = Vec::with_capacity(rows);
         let mut quantity = Vec::with_capacity(rows);
@@ -201,6 +227,26 @@ mod tests {
             .count();
         let frac = hits as f64 / 100_000.0;
         assert!((0.12..0.17).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn generate_range_matches_monolithic_slices() {
+        // The shard generator's contract: any contiguous row range of
+        // the monolithic table reproduces value for value, including
+        // ranges that start mid-region and a full-table range.
+        let whole = LineitemTable::generate(257, 21);
+        for (first, rows) in [(0, 257), (0, 1), (1, 17), (96, 64), (200, 57), (256, 1)] {
+            let shard = LineitemTable::generate_range(21, first, rows);
+            assert_eq!(shard.rows(), rows);
+            for c in Column::ALL {
+                assert_eq!(
+                    shard.column(c),
+                    &whole.column(c)[first..first + rows],
+                    "{c} rows {first}..{}",
+                    first + rows
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::lineitem::{Column, DAY_1994_01_01, DAY_1995_01_01};
 
 /// A comparison applied to every value of one column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `value < imm`.
     Lt(i64),
@@ -47,7 +47,7 @@ impl std::fmt::Display for CmpOp {
 }
 
 /// One conjunct of a select scan: a comparison over one column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColumnPredicate {
     /// The column scanned.
     pub column: Column,
@@ -81,7 +81,7 @@ impl std::fmt::Display for ColumnPredicate {
 /// let q6 = Query::q6();
 /// assert_eq!(q6.predicates().len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     predicates: Vec<ColumnPredicate>,
     aggregate: bool,

@@ -25,14 +25,27 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
+    /// The Weyl-sequence increment the generator's state advances by.
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
+    /// Advances the stream past the next `n` draws in O(1).
+    ///
+    /// SplitMix64's state is a Weyl sequence (`state += GAMMA` per
+    /// draw), so jumping `n` draws ahead is a single wrapping multiply
+    /// — the property that lets a table shard start generating at its
+    /// global row offset without replaying the rows before it.
+    pub fn skip(&mut self, n: u64) {
+        self.state = self.state.wrapping_add(Self::GAMMA.wrapping_mul(n));
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = self.state.wrapping_add(Self::GAMMA);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -133,5 +146,18 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn below_zero_panics() {
         SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn skip_equals_discarding_draws() {
+        for n in [0u64, 1, 2, 63, 1000] {
+            let mut jumped = SplitMix64::new(99);
+            jumped.skip(n);
+            let mut walked = SplitMix64::new(99);
+            for _ in 0..n {
+                let _ = walked.next_u64();
+            }
+            assert_eq!(jumped.next_u64(), walked.next_u64(), "skip({n})");
+        }
     }
 }

@@ -1,0 +1,393 @@
+//! The sharding layer: one query, N cube shards, combined answers.
+
+use hipe::{Arch, RunReport, Session, System, SystemConfig};
+use hipe_db::scan::ScanResult;
+use hipe_db::{Bitmask, Query};
+use hipe_sim::Cycle;
+use std::ops::Range;
+
+/// Host-side cycles to merge one extra shard's answer into the
+/// gathered result (mask stitch + partial-sum add, already resident in
+/// the host's cache after the per-shard runs). A single-shard cluster
+/// merges nothing, so its cycle count equals the plain [`System`]'s.
+pub const MERGE_CYCLES_PER_SHARD: Cycle = 64;
+
+/// Configuration of a sharded cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Total tuples across all shards.
+    pub rows: usize,
+    /// Generation seed of the (logical) monolithic table.
+    pub seed: u64,
+    /// Number of cube shards the row space is split over.
+    pub shards: usize,
+    /// Vault-group engines inside each shard's cube (the PR 4 knob,
+    /// applied per shard).
+    pub partitions: usize,
+}
+
+impl ClusterConfig {
+    /// A paper-configured cluster: `shards` single-engine cubes.
+    pub fn new(rows: usize, seed: u64, shards: usize) -> Self {
+        ClusterConfig {
+            rows,
+            seed,
+            shards,
+            partitions: 1,
+        }
+    }
+}
+
+/// N [`System`] shards over one logical lineitem table.
+///
+/// The table's row space `0..rows` is split into `shards` contiguous,
+/// near-equal ranges; shard `s` owns its range as a fully independent
+/// [`System`] — its own generated sub-table (bit-identical to the
+/// monolithic table's rows for that range, via
+/// `LineitemTable::generate_range`), its own `DsmLayout`, its own cube
+/// image, optionally partitioned internally across vault-group
+/// engines.
+///
+/// Queries *scatter-gather*: every shard runs the same compiled query
+/// over its rows, and the cluster combines the answers — mask
+/// concatenation for selects, partial-sum addition for aggregates —
+/// so a cluster result is bit-identical to running the query on one
+/// monolithic [`System`] of the same `rows` and `seed` (the
+/// integration tests assert it on all four architectures).
+///
+/// # Example
+///
+/// ```
+/// use hipe::{Arch, System};
+/// use hipe_db::Query;
+/// use hipe_serve::Cluster;
+///
+/// let cluster = Cluster::new(4096, 7, 4);
+/// let report = cluster.run(Arch::Hipe, &Query::q6());
+/// let mono = System::new(4096, 7).run(Arch::Hipe, &Query::q6());
+/// assert_eq!(report.result, mono.result);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    shards: Vec<System>,
+    bounds: Vec<Range<usize>>,
+}
+
+impl Cluster {
+    /// Creates a paper-configured cluster of `shards` single-engine
+    /// cubes over `rows` total tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds `rows` (every shard needs
+    /// at least one tuple).
+    pub fn new(rows: usize, seed: u64, shards: usize) -> Self {
+        Cluster::with_config(ClusterConfig::new(rows, seed, shards))
+    }
+
+    /// Creates a cluster with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is zero or exceeds `cfg.rows`, or if
+    /// `cfg.partitions` does not divide the vault sweep.
+    pub fn with_config(cfg: ClusterConfig) -> Self {
+        assert!(cfg.shards > 0, "a cluster needs at least one shard");
+        assert!(
+            cfg.shards <= cfg.rows,
+            "{} shards over {} rows leaves empty shards",
+            cfg.shards,
+            cfg.rows
+        );
+        // Balanced contiguous split: the first `rows % shards` shards
+        // take one extra tuple, so ranges differ in size by at most 1.
+        let base = cfg.rows / cfg.shards;
+        let extra = cfg.rows % cfg.shards;
+        let mut bounds = Vec::with_capacity(cfg.shards);
+        let mut start = 0;
+        for s in 0..cfg.shards {
+            let len = base + usize::from(s < extra);
+            bounds.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, cfg.rows);
+        let shards = bounds
+            .iter()
+            .map(|range| {
+                System::with_config(SystemConfig {
+                    rows: range.len(),
+                    row_offset: range.start,
+                    partitions: cfg.partitions,
+                    ..SystemConfig::paper(range.len(), cfg.seed)
+                })
+            })
+            .collect();
+        Cluster {
+            cfg,
+            shards,
+            bounds,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Total tuples across all shards.
+    pub fn rows(&self) -> usize {
+        self.cfg.rows
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `s`'s [`System`].
+    pub fn shard(&self, s: usize) -> &System {
+        &self.shards[s]
+    }
+
+    /// Global row range owned by shard `s`.
+    pub fn shard_rows(&self, s: usize) -> Range<usize> {
+        self.bounds[s].clone()
+    }
+
+    /// Host cycles the gather step spends merging shard answers
+    /// (zero for a single shard).
+    pub fn merge_cycles(&self) -> Cycle {
+        (self.shards.len() as Cycle - 1) * MERGE_CYCLES_PER_SHARD
+    }
+
+    /// Total table materializations across all shards.
+    pub fn materializations(&self) -> u64 {
+        self.shards.iter().map(System::materializations).sum()
+    }
+
+    /// Total query compilations across all shards.
+    pub fn compilations(&self) -> u64 {
+        self.shards.iter().map(System::compilations).sum()
+    }
+
+    /// Opens a warm cluster session: one materialized cube image per
+    /// shard, plan caches warm across the whole batch.
+    pub fn session(&self) -> ClusterSession<'_> {
+        ClusterSession {
+            cluster: self,
+            sessions: self.shards.iter().map(System::session).collect(),
+        }
+    }
+
+    /// One-shot scatter-gather run (cold: materializes every shard).
+    pub fn run(&self, arch: Arch, query: &Query) -> ClusterReport {
+        self.session().run(arch, query)
+    }
+}
+
+/// A warm execution context over every shard of a [`Cluster`].
+///
+/// Like [`Session`] but N-way: creating it materializes each shard's
+/// cube image once; every run scatter-gathers through the warm images,
+/// and each shard session's plan cache compiles a given `(arch,
+/// query)` exactly once for the whole batch.
+#[derive(Debug)]
+pub struct ClusterSession<'a> {
+    cluster: &'a Cluster,
+    sessions: Vec<Session<'a>>,
+}
+
+impl<'a> ClusterSession<'a> {
+    /// The cluster this session executes against.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// Mutable access to shard `s`'s warm [`Session`].
+    pub fn shard_session(&mut self, s: usize) -> &mut Session<'a> {
+        &mut self.sessions[s]
+    }
+
+    /// Scatters `query` to every shard and gathers the combined
+    /// [`ClusterReport`].
+    pub fn run(&mut self, arch: Arch, query: &Query) -> ClusterReport {
+        let shard_reports: Vec<RunReport> = self
+            .sessions
+            .iter_mut()
+            .map(|session| session.run(arch, query))
+            .collect();
+        combine(self.cluster, arch, query, shard_reports)
+    }
+}
+
+/// Gathers shard answers into the cluster-level result.
+fn combine(
+    cluster: &Cluster,
+    arch: Arch,
+    query: &Query,
+    shard_reports: Vec<RunReport>,
+) -> ClusterReport {
+    let mut bitmask = Bitmask::zeros(cluster.rows());
+    let mut matches = 0;
+    let mut aggregate: i128 = 0;
+    for (report, range) in shard_reports.iter().zip(&cluster.bounds) {
+        debug_assert_eq!(report.result.bitmask.len(), range.len());
+        for i in report.result.bitmask.iter_ones() {
+            bitmask.set(range.start + i);
+        }
+        matches += report.result.matches;
+        aggregate += report.result.aggregate.unwrap_or(0);
+    }
+    // The shards run concurrently (one host thread driving N cubes
+    // over independent link sets), so the scan critical path is the
+    // slowest shard; the host then merges the N answers serially.
+    let cycles = shard_reports
+        .iter()
+        .map(|r| r.cycles)
+        .max()
+        .expect("clusters have at least one shard")
+        + cluster.merge_cycles();
+    ClusterReport {
+        arch,
+        result: ScanResult {
+            bitmask,
+            matches,
+            aggregate: query.aggregates().then_some(aggregate),
+        },
+        cycles,
+        shard_reports,
+    }
+}
+
+/// Outcome of one scatter-gather query execution on a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Architecture every shard ran on.
+    pub arch: Arch,
+    /// Combined functional result over the whole logical table (mask
+    /// concatenation, partial-sum addition).
+    pub result: ScanResult,
+    /// End-to-end cycles: the slowest shard plus the host-side merge
+    /// of shard answers (zero merge for a single shard, so a
+    /// one-shard cluster reports exactly the plain [`System`] cycles).
+    pub cycles: Cycle,
+    /// The per-shard reports, in shard order.
+    pub shard_reports: Vec<RunReport>,
+}
+
+impl ClusterReport {
+    /// Fraction of tuples selected across the whole cluster.
+    pub fn selectivity(&self) -> f64 {
+        if self.result.bitmask.is_empty() {
+            0.0
+        } else {
+            self.result.matches as f64 / self.result.bitmask.len() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} x{} shards: {} cycles, {} / {} tuples ({:.2} %) [shard cycles",
+            self.arch,
+            self.shard_reports.len(),
+            self.cycles,
+            self.result.matches,
+            self.result.bitmask.len(),
+            100.0 * self.selectivity(),
+        )?;
+        for (i, r) in self.shard_reports.iter().enumerate() {
+            let sep = if i == 0 { ' ' } else { '/' };
+            write!(f, "{sep}{}", r.cycles)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_contiguous_split() {
+        let c = Cluster::new(10, 1, 3);
+        assert_eq!(c.shard_rows(0), 0..4);
+        assert_eq!(c.shard_rows(1), 4..7);
+        assert_eq!(c.shard_rows(2), 7..10);
+        assert_eq!(c.rows(), 10);
+        assert_eq!(c.shards(), 3);
+    }
+
+    #[test]
+    fn shard_tables_match_the_monolithic_table() {
+        use hipe_db::{Column, LineitemTable};
+        let c = Cluster::new(200, 9, 3);
+        let mono = LineitemTable::generate(200, 9);
+        for s in 0..3 {
+            let range = c.shard_rows(s);
+            for col in Column::ALL {
+                assert_eq!(
+                    c.shard(s).table().column(col),
+                    &mono.column(col)[range.clone()],
+                    "shard {s} {col}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_cycles_zero_for_single_shard() {
+        assert_eq!(Cluster::new(100, 1, 1).merge_cycles(), 0);
+        assert_eq!(
+            Cluster::new(100, 1, 4).merge_cycles(),
+            3 * MERGE_CYCLES_PER_SHARD
+        );
+    }
+
+    #[test]
+    fn warm_session_materializes_each_shard_once() {
+        let c = Cluster::new(256, 3, 2);
+        let mut session = c.session();
+        let q = Query::q6();
+        let a = session.run(Arch::Hipe, &q);
+        let b = session.run(Arch::Hipe, &q);
+        assert_eq!(a.result, b.result);
+        assert_eq!(c.materializations(), 2); // one per shard
+        assert_eq!(c.compilations(), 2); // one per shard, cached on rerun
+    }
+
+    #[test]
+    fn internally_partitioned_shards() {
+        let cfg = ClusterConfig {
+            partitions: 4,
+            ..ClusterConfig::new(2048, 5, 2)
+        };
+        let c = Cluster::with_config(cfg);
+        let report = c.run(Arch::Hipe, &Query::q6());
+        let mono = System::new(2048, 5).run(Arch::Hipe, &Query::q6());
+        assert_eq!(report.result, mono.result);
+        assert_eq!(report.shard_reports[0].partitions.len(), 4);
+    }
+
+    #[test]
+    fn display_names_shards() {
+        let c = Cluster::new(128, 2, 2);
+        let s = c.run(Arch::Hipe, &Query::q6()).to_string();
+        assert!(s.contains("x2 shards"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = Cluster::new(10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shards")]
+    fn more_shards_than_rows_panics() {
+        let _ = Cluster::new(3, 0, 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! `hipe-serve`: the sharded multi-cube query service.
+//!
+//! The paper evaluates its machines one query at a time on one cube;
+//! this crate is the layer that multiplies a fast single cube into a
+//! *service* — many cubes, many concurrent queries, measured as
+//! throughput and tail latency rather than single-run cycles. Two
+//! cooperating layers:
+//!
+//! # Sharding: [`Cluster`]
+//!
+//! A [`Cluster`] owns N [`System`](hipe::System) shards. The logical
+//! lineitem table's row space is split into contiguous, near-equal
+//! ranges; each shard generates exactly the monolithic table's rows
+//! for its range (`LineitemTable::generate_range` jumps the RNG
+//! stream to the shard's offset), lays them out in its own cube image
+//! with its own `DsmLayout`, and can itself be partitioned across
+//! vault-group engines (the PR 4 knob). Queries *scatter-gather*:
+//!
+//! ```text
+//!            query ──► Cluster ──scatter──► shard 0 (System, cube 0, rows    0..r/N)
+//!                         │      ├────────► shard 1 (System, cube 1, rows  r/N..2r/N)
+//!                         │      └────────► shard N-1 (System, cube N-1, …)
+//!                         ▼
+//!            gather: mask concatenation + partial-sum addition
+//! ```
+//!
+//! Each shard session caches compiled plans, so a batch compiles each
+//! distinct `(arch, query)` once per shard. A single-shard cluster is
+//! the plain `System`, bit for bit *and* cycle for cycle; a multi-
+//! shard cluster returns bit-identical functional results on all four
+//! architectures (the integration tests assert both).
+//!
+//! # Service scheduling: [`run_service`]
+//!
+//! [`run_service`] drives an open- or closed-loop query stream
+//! ([`LoadModel`]) through a warm cluster with a discrete-event loop
+//! built from the `hipe-sim` primitives: the front end and each shard
+//! cube are [`Server`](hipe_sim::Server)s, admission is a
+//! [`Window`](hipe_sim::Window), arrivals and the weighted query mix
+//! draw from `SplitMix64`. Batching amortizes the front-end setup
+//! cost; per-query service times are the deterministic modeled cycles
+//! of actually executing that query on that shard. The
+//! [`ServiceReport`] carries throughput (queries per gigacycle /
+//! queries per second), per-shard utilization, and nearest-rank
+//! p50/p95/p99 latency ([`hipe_sim::Samples`]) in modeled cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use hipe::Arch;
+//! use hipe_db::Query;
+//! use hipe_serve::{Cluster, ServiceConfig, run_service};
+//!
+//! let cluster = Cluster::new(2048, 7, 2);
+//! let cfg = ServiceConfig::closed(Arch::Hipe, 32, vec![(Query::q6(), 1)], 4);
+//! let report = run_service(&cluster, &cfg);
+//! assert_eq!(report.queries, 32);
+//! assert!(report.latency.p50 <= report.latency.p99);
+//! ```
+
+mod cluster;
+mod service;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, ClusterSession, MERGE_CYCLES_PER_SHARD};
+pub use service::{run_service, LatencySummary, LoadModel, ServiceConfig, ServiceReport};

@@ -1,0 +1,430 @@
+//! The service scheduler: a discrete-event loop driving a query
+//! stream through a warm [`Cluster`].
+//!
+//! Built from the `hipe-sim` primitives the component models already
+//! use: each shard cube is a [`Server`] (one query resident at a
+//! time), the service front end is a `Server` (admission, plan lookup
+//! and scatter dispatch, amortized over a batch), and a [`Window`] caps
+//! the queries in flight. Per-query service times are the *modeled
+//! cycle counts* of actually executing that query on that shard —
+//! each distinct query of the mix is executed once per shard through
+//! the warm sessions (compiling once, thanks to the session plan
+//! cache), and the deterministic measured durations drive the event
+//! loop. Warm ≡ cold and run-order independence are proven by the
+//! `hipe-core` session tests, which is what makes the replay honest.
+
+use crate::cluster::{Cluster, ClusterReport};
+use hipe::Arch;
+use hipe_db::{Query, SplitMix64};
+use hipe_sim::{Cycle, Freq, Samples, Server, Window};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How queries arrive at the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadModel {
+    /// Open loop: arrivals are independent of completions, with
+    /// exponentially distributed inter-arrival gaps of the given mean
+    /// (cycles). Models internet-facing traffic; latency explodes
+    /// past saturation.
+    Open {
+        /// Mean cycles between arrivals.
+        mean_interarrival: Cycle,
+    },
+    /// Closed loop: `clients` concurrent issuers, each submitting its
+    /// next query `think` cycles after its previous one completes.
+    /// Models a fixed worker pool; throughput saturates at capacity.
+    Closed {
+        /// Concurrent clients.
+        clients: usize,
+        /// Cycles a client waits between completion and its next
+        /// query.
+        think: Cycle,
+    },
+}
+
+/// Configuration of one service run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Architecture every shard executes on.
+    pub arch: Arch,
+    /// Total queries to serve.
+    pub queries: usize,
+    /// Weighted query mix: each arrival draws one entry with
+    /// probability proportional to its weight.
+    pub mix: Vec<(Query, u32)>,
+    /// Arrival process.
+    pub load: LoadModel,
+    /// Queries dispatched per front-end batch. The front end pays
+    /// [`batch_setup`](Self::batch_setup) once per batch, so larger
+    /// batches trade arrival-to-dispatch latency for throughput.
+    /// Under a closed loop the effective batch is capped at the
+    /// client count (a batch can never fill beyond the queries the
+    /// pool can have outstanding). A whole batch enters flight at
+    /// once, so `batch` must not exceed
+    /// [`max_in_flight`](Self::max_in_flight).
+    pub batch: usize,
+    /// Admission cap on queries in flight; later arrivals wait for
+    /// the oldest in-flight query to complete.
+    pub max_in_flight: usize,
+    /// Arrival / mix-draw RNG seed.
+    pub seed: u64,
+    /// Front-end cycles per batch (plan-cache lookup, admission,
+    /// scatter setup) — the cost batching amortizes.
+    pub batch_setup: Cycle,
+    /// Front-end cycles per query within a batch.
+    pub per_query_dispatch: Cycle,
+}
+
+impl ServiceConfig {
+    /// An open-loop service run with default batching (4), admission
+    /// (64 in flight), and front-end costs.
+    pub fn open(
+        arch: Arch,
+        queries: usize,
+        mix: Vec<(Query, u32)>,
+        mean_interarrival: Cycle,
+    ) -> Self {
+        ServiceConfig {
+            arch,
+            queries,
+            mix,
+            load: LoadModel::Open { mean_interarrival },
+            batch: 4,
+            max_in_flight: 64,
+            seed: 0x5EED_5E4E,
+            batch_setup: 200,
+            per_query_dispatch: 20,
+        }
+    }
+
+    /// A closed-loop service run with zero think time — the
+    /// saturating load the throughput sweeps use.
+    pub fn closed(arch: Arch, queries: usize, mix: Vec<(Query, u32)>, clients: usize) -> Self {
+        ServiceConfig {
+            load: LoadModel::Closed { clients, think: 0 },
+            ..ServiceConfig::open(arch, queries, mix, 0)
+        }
+    }
+}
+
+/// Latency summary of a service run, in modeled cycles.
+///
+/// Percentiles are nearest-rank over every served query's
+/// arrival-to-completion latency ([`hipe_sim::Samples`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: Cycle,
+    /// 95th percentile latency.
+    pub p95: Cycle,
+    /// 99th percentile latency.
+    pub p99: Cycle,
+    /// Mean latency.
+    pub mean: f64,
+    /// Worst latency.
+    pub max: Cycle,
+}
+
+/// What one service run measured.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Architecture the shards executed on.
+    pub arch: Arch,
+    /// Shards in the cluster.
+    pub shards: usize,
+    /// Queries served.
+    pub queries: u64,
+    /// Cycle at which the last query completed.
+    pub makespan: Cycle,
+    /// Arrival-to-completion latency distribution.
+    pub latency: LatencySummary,
+    /// Busy cycles per shard cube.
+    pub shard_busy: Vec<Cycle>,
+    /// Busy cycles of the front end.
+    pub frontend_busy: Cycle,
+    /// Cycles arrivals spent blocked on the admission window.
+    pub admission_stall: Cycle,
+    /// Query compilations across all shards (the plan cache keeps
+    /// this at one per distinct query per shard).
+    pub compilations: u64,
+    /// Table materializations across all shards (one per shard).
+    pub materializations: u64,
+}
+
+impl ServiceReport {
+    /// Throughput in queries per gigacycle (integer, so the bench
+    /// JSON and its CI check stay float-free).
+    pub fn queries_per_gigacycle(&self) -> u64 {
+        self.queries * 1_000_000_000 / self.makespan.max(1)
+    }
+
+    /// Throughput in queries per second at the given host clock.
+    pub fn queries_per_sec(&self, cpu: Freq) -> f64 {
+        self.queries as f64 * cpu.as_mhz() as f64 * 1e6 / self.makespan.max(1) as f64
+    }
+
+    /// Fraction of the makespan shard `s` spent executing queries.
+    pub fn utilization(&self, s: usize) -> f64 {
+        self.shard_busy[s] as f64 / self.makespan.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} x{} shards: {} queries in {} cycles ({} q/Gcyc), \
+             latency p50/p95/p99 {}/{}/{} cycles, util",
+            self.arch,
+            self.shards,
+            self.queries,
+            self.makespan,
+            self.queries_per_gigacycle(),
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+        )?;
+        for s in 0..self.shards {
+            let sep = if s == 0 { ' ' } else { '/' };
+            write!(f, "{sep}{:.0}%", 100.0 * self.utilization(s))?;
+        }
+        Ok(())
+    }
+}
+
+/// One query waiting in the current front-end batch.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Who issued it (event-loop tag: client id or sequence number).
+    tag: usize,
+    /// Mix index of the query.
+    query: usize,
+    /// Arrival cycle.
+    arrival: Cycle,
+}
+
+/// A served query's timing.
+#[derive(Debug, Clone, Copy)]
+struct Served {
+    tag: usize,
+    completion: Cycle,
+}
+
+/// The event-loop state: front end, shard servers, admission window.
+struct Scheduler<'a> {
+    cfg: &'a ServiceConfig,
+    /// Measured cycles of mix query `q` on shard `s`:
+    /// `durations[q][s]`.
+    durations: &'a [Vec<Cycle>],
+    merge_cycles: Cycle,
+    frontend: Server,
+    shards: Vec<Server>,
+    window: Window,
+    batch: Vec<Pending>,
+    batch_cap: usize,
+    latencies: Samples,
+    makespan: Cycle,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(cfg: &'a ServiceConfig, durations: &'a [Vec<Cycle>], cluster: &Cluster) -> Self {
+        // A closed loop can never fill a batch beyond its client pool;
+        // capping avoids waiting for arrivals that cannot happen.
+        let batch_cap = match cfg.load {
+            LoadModel::Open { .. } => cfg.batch,
+            LoadModel::Closed { clients, .. } => cfg.batch.min(clients),
+        };
+        Scheduler {
+            cfg,
+            durations,
+            merge_cycles: cluster.merge_cycles(),
+            frontend: Server::new(),
+            shards: vec![Server::new(); cluster.shards()],
+            window: Window::new(cfg.max_in_flight),
+            batch: Vec::with_capacity(batch_cap),
+            batch_cap,
+            latencies: Samples::new(),
+            makespan: 0,
+        }
+    }
+
+    /// Offers one arrival; returns the batch's completions when this
+    /// arrival fills it.
+    fn offer(&mut self, tag: usize, query: usize, arrival: Cycle) -> Vec<Served> {
+        self.batch.push(Pending {
+            tag,
+            query,
+            arrival,
+        });
+        if self.batch.len() >= self.batch_cap {
+            self.dispatch()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Dispatches whatever the current batch holds (possibly short,
+    /// at end of stream).
+    fn dispatch(&mut self) -> Vec<Served> {
+        if self.batch.is_empty() {
+            return Vec::new();
+        }
+        // The batch leaves the front end once its last member has
+        // arrived and every member clears admission.
+        let mut ready = 0;
+        for p in &self.batch {
+            ready = ready.max(self.window.admit(p.arrival));
+        }
+        let cost = self.cfg.batch_setup + self.cfg.per_query_dispatch * self.batch.len() as Cycle;
+        let (_, scattered) = self.frontend.serve(ready, cost);
+        // Scatter each member to every shard; a shard serves one
+        // query at a time, so members queue per shard in batch order.
+        let mut served = Vec::with_capacity(self.batch.len());
+        for p in self.batch.drain(..) {
+            let slowest = self
+                .shards
+                .iter_mut()
+                .zip(&self.durations[p.query])
+                .map(|(shard, &cycles)| shard.serve(scattered, cycles).1)
+                .max()
+                .expect("clusters have at least one shard");
+            let completion = slowest + self.merge_cycles;
+            self.window.complete(completion);
+            self.latencies.push(completion - p.arrival);
+            self.makespan = self.makespan.max(completion);
+            served.push(Served {
+                tag: p.tag,
+                completion,
+            });
+        }
+        served
+    }
+}
+
+/// Runs a query stream through a warm cluster and reports throughput,
+/// utilization and tail latency.
+///
+/// The service opens one [`ClusterSession`](crate::ClusterSession)
+/// (one materialization per shard), executes each distinct query of
+/// the mix once per shard to obtain its functional answer and its
+/// deterministic per-shard duration, then drives the configured
+/// arrival process through the discrete-event scheduler.
+///
+/// # Panics
+///
+/// Panics if the config asks for zero queries, an empty or zero-weight
+/// mix, a zero batch, or zero admitted queries in flight.
+pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
+    assert!(cfg.queries > 0, "a service run needs at least one query");
+    assert!(!cfg.mix.is_empty(), "the query mix is empty");
+    assert!(cfg.batch > 0, "batch size must be non-zero");
+    // A batch is scattered as one unit, so its members are in flight
+    // together — a window smaller than the batch could never admit it.
+    assert!(
+        cfg.batch <= cfg.max_in_flight,
+        "batch ({}) exceeds max_in_flight ({})",
+        cfg.batch,
+        cfg.max_in_flight
+    );
+    let total_weight: u64 = cfg.mix.iter().map(|&(_, w)| w as u64).sum();
+    assert!(total_weight > 0, "the query mix has zero total weight");
+
+    // Profile pass: one warm execution of each distinct mix query per
+    // shard. The plan caches make this compile-once; determinism (warm
+    // == cold, order independence) makes replaying the measured
+    // durations in the event loop exact.
+    let mut session = cluster.session();
+    let reports: Vec<ClusterReport> = cfg
+        .mix
+        .iter()
+        .map(|(query, _)| session.run(cfg.arch, query))
+        .collect();
+    let durations: Vec<Vec<Cycle>> = reports
+        .iter()
+        .map(|r| r.shard_reports.iter().map(|s| s.cycles).collect())
+        .collect();
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut draw_query = move || {
+        let mut ticket = rng.below(total_weight);
+        for (i, &(_, w)) in cfg.mix.iter().enumerate() {
+            if ticket < w as u64 {
+                return i;
+            }
+            ticket -= w as u64;
+        }
+        unreachable!("ticket below total weight");
+    };
+    // Arrival gaps draw from an independent stream so changing the
+    // mix does not perturb the arrival schedule (and vice versa).
+    let mut arrival_rng = SplitMix64::new(cfg.seed ^ 0xA441_7A15);
+
+    let mut sched = Scheduler::new(cfg, &durations, cluster);
+    match cfg.load {
+        LoadModel::Open { mean_interarrival } => {
+            let mut now = 0;
+            for tag in 0..cfg.queries {
+                now += exponential(&mut arrival_rng, mean_interarrival);
+                let _ = sched.offer(tag, draw_query(), now);
+            }
+            let _ = sched.dispatch();
+        }
+        LoadModel::Closed { clients, think } => {
+            assert!(clients > 0, "a closed loop needs at least one client");
+            // Min-heap of (next issue time, client); staggered epsilon
+            // starts keep the order deterministic.
+            let mut idle: BinaryHeap<Reverse<(Cycle, usize)>> =
+                (0..clients).map(|c| Reverse((c as Cycle, c))).collect();
+            let mut issued = 0;
+            while issued < cfg.queries {
+                // Every client is either idle or parked in the batch,
+                // and the batch dispatches (re-queueing its members)
+                // the moment it holds batch_cap <= clients of them —
+                // so the pool can never be entirely parked.
+                let Reverse((now, client)) = idle
+                    .pop()
+                    .expect("batch_cap <= clients keeps at least one client idle");
+                issued += 1;
+                for s in sched.offer(client, draw_query(), now) {
+                    idle.push(Reverse((s.completion + think, s.tag)));
+                }
+            }
+            let _ = sched.dispatch();
+        }
+    }
+
+    let latency = {
+        let lat = &mut sched.latencies;
+        LatencySummary {
+            p50: lat.p50().expect("at least one query served"),
+            p95: lat.p95().expect("at least one query served"),
+            p99: lat.p99().expect("at least one query served"),
+            mean: lat.mean(),
+            max: lat.max().expect("at least one query served"),
+        }
+    };
+    ServiceReport {
+        arch: cfg.arch,
+        shards: cluster.shards(),
+        queries: sched.latencies.count(),
+        makespan: sched.makespan,
+        latency,
+        shard_busy: sched.shards.iter().map(Server::busy_cycles).collect(),
+        frontend_busy: sched.frontend.busy_cycles(),
+        admission_stall: sched.window.stall_cycles(),
+        compilations: cluster.compilations(),
+        materializations: cluster.materializations(),
+    }
+}
+
+/// A rounded exponential draw with the given mean (zero mean pins the
+/// gap to zero — the back-to-back arrival extreme).
+fn exponential(rng: &mut SplitMix64, mean: Cycle) -> Cycle {
+    if mean == 0 {
+        return 0;
+    }
+    // u uniform in (0, 1]: 53 mantissa bits, never exactly zero.
+    let u = ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    (-u.ln() * mean as f64).round() as Cycle
+}

@@ -1,0 +1,236 @@
+//! Discrete-event service scheduler tests.
+
+use hipe::Arch;
+use hipe_db::Query;
+use hipe_serve::{run_service, Cluster, LoadModel, ServiceConfig};
+
+const SEED: u64 = 2018;
+
+fn mix() -> Vec<(Query, u32)> {
+    vec![
+        (Query::q6(), 2),
+        (Query::quantity_below_permille(100), 3),
+        (Query::quantity_below_permille(500).with_aggregate(), 1),
+    ]
+}
+
+fn closed(queries: usize, clients: usize) -> ServiceConfig {
+    ServiceConfig::closed(Arch::Hipe, queries, mix(), clients)
+}
+
+#[test]
+fn serves_every_query_and_orders_percentiles() {
+    let cluster = Cluster::new(1024, SEED, 2);
+    let report = run_service(&cluster, &closed(48, 4));
+    assert_eq!(report.queries, 48);
+    assert_eq!(report.shards, 2);
+    assert!(report.makespan > 0);
+    assert!(report.latency.p50 <= report.latency.p95);
+    assert!(report.latency.p95 <= report.latency.p99);
+    assert!(report.latency.p99 <= report.latency.max);
+    assert!(report.latency.mean > 0.0);
+    assert!(report.queries_per_gigacycle() > 0);
+    assert!(report.queries_per_sec(hipe_sim::Freq::ghz(2)) > 0.0);
+}
+
+#[test]
+fn service_runs_are_deterministic() {
+    let cluster = Cluster::new(512, SEED, 2);
+    let a = run_service(&cluster, &closed(32, 4));
+    let b = run_service(&cluster, &closed(32, 4));
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.latency.p99, b.latency.p99);
+    assert_eq!(a.shard_busy, b.shard_busy);
+}
+
+#[test]
+fn profile_pass_compiles_once_per_mix_query_per_shard() {
+    let cluster = Cluster::new(512, SEED, 2);
+    let report = run_service(&cluster, &closed(64, 4));
+    // 3 mix queries x 2 shards, compiled exactly once each despite 64
+    // served queries — the plan cache at work in the batch loop.
+    assert_eq!(report.compilations, 6);
+    assert_eq!(report.materializations, 2);
+}
+
+#[test]
+fn shard_utilization_is_a_fraction_and_busy_bounded() {
+    let cluster = Cluster::new(1024, SEED, 2);
+    let report = run_service(&cluster, &closed(32, 4));
+    for s in 0..report.shards {
+        let u = report.utilization(s);
+        assert!((0.0..=1.0).contains(&u), "shard {s} utilization {u}");
+        assert!(report.shard_busy[s] <= report.makespan);
+    }
+    assert!(report.frontend_busy <= report.makespan);
+}
+
+#[test]
+fn open_loop_light_load_has_low_queueing() {
+    let cluster = Cluster::new(512, SEED, 2);
+    // Arrivals far apart: latency ~ service time, no admission stall.
+    let sparse = ServiceConfig {
+        batch: 1,
+        ..ServiceConfig::open(Arch::Hipe, 24, mix(), 20_000_000)
+    };
+    let report = run_service(&cluster, &sparse);
+    assert_eq!(report.queries, 24);
+    assert_eq!(report.admission_stall, 0);
+    // Under saturation (arrivals back to back) the same stream waits
+    // far longer.
+    let dense = ServiceConfig {
+        batch: 1,
+        ..ServiceConfig::open(Arch::Hipe, 24, mix(), 1)
+    };
+    let saturated = run_service(&cluster, &dense);
+    assert!(
+        saturated.latency.p99 > report.latency.p99,
+        "saturated p99 {} <= light p99 {}",
+        saturated.latency.p99,
+        report.latency.p99
+    );
+    // Open-loop saturation finishes sooner than the spread-out stream
+    // (arrivals, not capacity, bound the light-load makespan).
+    assert!(saturated.makespan < report.makespan);
+}
+
+#[test]
+fn batching_amortizes_the_front_end() {
+    let cluster = Cluster::new(512, SEED, 1);
+    let unbatched = run_service(
+        &cluster,
+        &ServiceConfig {
+            batch: 1,
+            ..closed(64, 8)
+        },
+    );
+    let batched = run_service(
+        &cluster,
+        &ServiceConfig {
+            batch: 8,
+            ..closed(64, 8)
+        },
+    );
+    // One batch setup per 8 queries instead of per query.
+    assert!(batched.frontend_busy < unbatched.frontend_busy);
+}
+
+#[test]
+fn admission_window_throttles_the_open_flood() {
+    let cluster = Cluster::new(512, SEED, 2);
+    let flood = ServiceConfig {
+        max_in_flight: 2,
+        batch: 1,
+        ..ServiceConfig::open(Arch::Hipe, 32, mix(), 1)
+    };
+    let report = run_service(&cluster, &flood);
+    assert!(
+        report.admission_stall > 0,
+        "a 2-deep window must stall a flood"
+    );
+}
+
+#[test]
+fn throughput_scales_with_shards_at_saturation() {
+    // The acceptance-criteria property, at test scale: queries per
+    // gigacycle monotone non-decreasing in shard count up to 4.
+    let rows = 2048;
+    let mut last = 0;
+    for shards in [1usize, 2, 4] {
+        let cluster = Cluster::new(rows, SEED, shards);
+        let report = run_service(&cluster, &closed(48, 8));
+        let qpgc = report.queries_per_gigacycle();
+        assert!(
+            qpgc >= last,
+            "{shards} shards: {qpgc} q/Gcyc < previous {last}"
+        );
+        last = qpgc;
+    }
+}
+
+#[test]
+fn closed_loop_keeps_inflight_at_clients() {
+    // One client, batch 1: strictly serial — makespan is at least the
+    // sum of every query's service time, and latency max sees no
+    // queueing behind other clients' work.
+    let cluster = Cluster::new(512, SEED, 2);
+    let report = run_service(
+        &cluster,
+        &ServiceConfig {
+            batch: 4, // capped to 1 by the single client
+            ..closed(16, 1)
+        },
+    );
+    assert_eq!(report.queries, 16);
+    let busiest = *report.shard_busy.iter().max().unwrap();
+    assert!(report.makespan >= busiest);
+    assert_eq!(report.admission_stall, 0);
+}
+
+#[test]
+fn report_display_mentions_throughput_and_utilization() {
+    let cluster = Cluster::new(512, SEED, 2);
+    let report = run_service(&cluster, &closed(16, 4));
+    let s = report.to_string();
+    assert!(s.contains("q/Gcyc"), "{s}");
+    assert!(s.contains("p50/p95/p99"), "{s}");
+    assert!(s.contains('%'), "{s}");
+}
+
+#[test]
+fn load_model_variants_are_comparable() {
+    assert_eq!(
+        LoadModel::Closed {
+            clients: 2,
+            think: 0
+        },
+        LoadModel::Closed {
+            clients: 2,
+            think: 0
+        }
+    );
+    assert_ne!(
+        LoadModel::Open {
+            mean_interarrival: 5
+        },
+        LoadModel::Open {
+            mean_interarrival: 6
+        }
+    );
+}
+
+#[test]
+#[should_panic(expected = "exceeds max_in_flight")]
+fn batch_wider_than_the_window_is_rejected() {
+    // A batch enters flight as one unit; a window narrower than the
+    // batch could never admit it (and would over-admit silently).
+    let cluster = Cluster::new(64, SEED, 1);
+    let cfg = ServiceConfig {
+        batch: 8,
+        max_in_flight: 2,
+        ..closed(16, 8)
+    };
+    let _ = run_service(&cluster, &cfg);
+}
+
+#[test]
+#[should_panic(expected = "at least one query")]
+fn zero_queries_panics() {
+    let cluster = Cluster::new(64, SEED, 1);
+    let _ = run_service(&cluster, &closed(0, 1));
+}
+
+#[test]
+#[should_panic(expected = "mix is empty")]
+fn empty_mix_panics() {
+    let cluster = Cluster::new(64, SEED, 1);
+    let _ = run_service(&cluster, &ServiceConfig::closed(Arch::Hipe, 4, vec![], 1));
+}
+
+#[test]
+#[should_panic(expected = "zero total weight")]
+fn zero_weight_mix_panics() {
+    let cluster = Cluster::new(64, SEED, 1);
+    let cfg = ServiceConfig::closed(Arch::Hipe, 4, vec![(Query::q6(), 0)], 1);
+    let _ = run_service(&cluster, &cfg);
+}

@@ -52,6 +52,6 @@ mod window;
 pub use fifo_window::FifoWindow;
 pub use pipe::ThroughputPipe;
 pub use server::{MultiServer, Server};
-pub use stats::{Counter, Histogram, RunningStats};
+pub use stats::{Counter, Histogram, RunningStats, Samples};
 pub use time::{time_ns, ClockDomain, Cycle, Freq};
 pub use window::Window;

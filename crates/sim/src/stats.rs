@@ -116,6 +116,98 @@ impl RunningStats {
     }
 }
 
+/// An exact sample set with nearest-rank percentiles.
+///
+/// Unlike [`Histogram`] (bounded memory, bucketed) this keeps every
+/// observed value, which is what a service report needs for exact
+/// p50/p95/p99 tail latencies. Percentiles use the *nearest-rank*
+/// definition: for `n` sorted samples, percentile `p` is the value at
+/// rank `ceil(p/100 * n)` (1-based), so p100 is the maximum and every
+/// returned value is an actually observed sample.
+///
+/// # Example
+///
+/// ```
+/// use hipe_sim::Samples;
+/// let mut s = Samples::new();
+/// for v in [30, 10, 20, 40] { s.push(v); }
+/// assert_eq!(s.percentile(50.0), Some(20));
+/// assert_eq!(s.p99(), Some(40));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<Cycle>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Observes one sample.
+    pub fn push(&mut self, v: Cycle) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Mean of samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().map(|&v| v as u128).sum::<u128>() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<Cycle> {
+        self.values.iter().copied().max()
+    }
+
+    /// The nearest-rank `p`-th percentile (`None` when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 100.0`.
+    pub fn percentile(&mut self, p: f64) -> Option<Cycle> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+        // Nearest rank: ceil(p/100 * n), clamped to [1, n] so p = 0
+        // yields the minimum rather than an invalid rank of zero.
+        let n = self.values.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.values[rank - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&mut self) -> Option<Cycle> {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> Option<Cycle> {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Option<Cycle> {
+        self.percentile(99.0)
+    }
+}
+
 /// A power-of-two bucketed latency histogram.
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))`, with bucket 0 also
@@ -216,6 +308,112 @@ mod tests {
         assert_eq!(h.bucket(0), 1);
         assert_eq!(h.bucket(1), 2);
         assert_eq!(h.bucket(2), 1);
+    }
+
+    #[test]
+    fn samples_empty_has_no_percentiles() {
+        let mut s = Samples::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.p99(), None);
+    }
+
+    #[test]
+    fn samples_single_value_is_every_percentile() {
+        let mut s = Samples::new();
+        s.push(42);
+        for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), Some(42), "p{p}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_small_sample_boundaries() {
+        // Exhaustive boundary table for n = 2..=5 over sorted samples
+        // 10, 20, ..., 10n — nearest rank means rank ceil(p/100 * n).
+        // n = 2: p50 -> rank 1, p51 -> rank 2.
+        let mut s = Samples::new();
+        for v in [20, 10] {
+            s.push(v);
+        }
+        assert_eq!(s.p50(), Some(10));
+        assert_eq!(s.percentile(50.1), Some(20));
+        assert_eq!(s.percentile(100.0), Some(20));
+        // n = 3: thirds at 33.33… and 66.67…
+        let mut s = Samples::new();
+        for v in [30, 10, 20] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(33.3), Some(10));
+        assert_eq!(s.percentile(33.4), Some(20));
+        assert_eq!(s.p50(), Some(20));
+        assert_eq!(s.percentile(66.6), Some(20));
+        assert_eq!(s.percentile(66.7), Some(30));
+        // n = 4: quarter boundaries are exact.
+        let mut s = Samples::new();
+        for v in [40, 20, 30, 10] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(25.0), Some(10));
+        assert_eq!(s.percentile(25.1), Some(20));
+        assert_eq!(s.p50(), Some(20));
+        assert_eq!(s.percentile(75.0), Some(30));
+        assert_eq!(s.percentile(75.1), Some(40));
+        // n = 5: p50 is the true median; p95/p99 are the maximum.
+        let mut s = Samples::new();
+        for v in [50, 10, 40, 20, 30] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.0), Some(10));
+        assert_eq!(s.percentile(20.0), Some(10));
+        assert_eq!(s.percentile(20.1), Some(20));
+        assert_eq!(s.p50(), Some(30));
+        assert_eq!(s.percentile(80.0), Some(40));
+        assert_eq!(s.percentile(80.1), Some(50));
+        assert_eq!(s.p95(), Some(50));
+        assert_eq!(s.p99(), Some(50));
+    }
+
+    #[test]
+    fn samples_track_mean_max_and_interleave_pushes() {
+        let mut s = Samples::new();
+        for v in [100, 300] {
+            s.push(v);
+        }
+        assert_eq!(s.p50(), Some(100));
+        // Pushing after a percentile query re-sorts lazily.
+        s.push(200);
+        assert_eq!(s.p50(), Some(200));
+        assert_eq!(s.mean(), 200.0);
+        assert_eq!(s.max(), Some(300));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut s = Samples::new();
+        let mut x = 7u64;
+        for _ in 0..137 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s.push(x >> 40);
+        }
+        let mut prev = 0;
+        for p in 0..=100 {
+            let v = s.percentile(p as f64).unwrap();
+            assert!(v >= prev, "p{p}: {v} < {prev}");
+            prev = v;
+        }
+        assert_eq!(s.percentile(100.0), s.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_above_100_panics() {
+        let mut s = Samples::new();
+        s.push(1);
+        let _ = s.percentile(100.1);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! End-to-end acceptance test of the sharded query service.
+//!
+//! The PR-level contract: a `Cluster` of ≥ 2 shards returns
+//! bit-identical query results to a single `System` on all four
+//! architectures, and service throughput under a saturating load is
+//! monotone non-decreasing in shard count up to 4 shards.
+
+use hipe::{Arch, System};
+use hipe_db::Query;
+use hipe_serve::{run_service, Cluster, ServiceConfig};
+
+const ROWS: usize = 4096;
+const SEED: u64 = 2024;
+
+#[test]
+fn multi_shard_cluster_is_bit_identical_to_the_monolithic_system() {
+    let mono = System::new(ROWS, SEED);
+    let mut mono_session = mono.session();
+    for shards in [2, 4] {
+        let cluster = Cluster::new(ROWS, SEED, shards);
+        let mut session = cluster.session();
+        for query in [
+            Query::q6(),
+            Query::quantity_below_permille(30),
+            Query::quantity_below_permille(500).with_aggregate(),
+        ] {
+            for arch in Arch::ALL {
+                let c = session.run(arch, &query);
+                let m = mono_session.run(arch, &query);
+                assert_eq!(
+                    c.result.bitmask, m.result.bitmask,
+                    "{shards} shards, {arch}, [{query}]: masks"
+                );
+                assert_eq!(
+                    c.result.aggregate, m.result.aggregate,
+                    "{shards} shards, {arch}, [{query}]: sums"
+                );
+                assert_eq!(c.result, m.result);
+            }
+        }
+        assert_eq!(cluster.materializations(), shards as u64);
+    }
+    assert_eq!(mono.materializations(), 1);
+}
+
+#[test]
+fn service_throughput_scales_monotonically_to_four_shards() {
+    let mix = vec![(Query::q6(), 1), (Query::quantity_below_permille(100), 2)];
+    let mut last = 0;
+    for shards in [1usize, 2, 4] {
+        let cluster = Cluster::new(ROWS, SEED, shards);
+        let cfg = ServiceConfig::closed(Arch::Hipe, 64, mix.clone(), 8);
+        let report = run_service(&cluster, &cfg);
+        assert_eq!(report.queries, 64);
+        let qpgc = report.queries_per_gigacycle();
+        assert!(
+            qpgc >= last,
+            "throughput regressed at {shards} shards: {qpgc} < {last} q/Gcyc"
+        );
+        last = qpgc;
+    }
+    assert!(last > 0);
+}

@@ -124,6 +124,35 @@ fn batch_reports_are_independent_of_execution_order() {
 }
 
 #[test]
+fn batch_loops_compile_once_per_distinct_query_per_arch() {
+    // The session plan cache: repeated executions of the same query
+    // on the same arch compile once, not per run.
+    let sys = System::new(ROWS, SEED);
+    let queries = workload();
+    let mut session = sys.session();
+    assert_eq!(sys.compilations(), 0);
+    let first = session.run_all(Arch::Hipe, &queries);
+    assert_eq!(sys.compilations(), queries.len() as u64);
+    for _ in 0..3 {
+        let again = session.run_all(Arch::Hipe, &queries);
+        for (a, b) in first.iter().zip(&again) {
+            assert_same_report(a, b, "cached-plan rerun");
+        }
+    }
+    assert_eq!(
+        sys.compilations(),
+        queries.len() as u64,
+        "a warm batch loop re-lowered a cached query"
+    );
+    // A different arch is a different plan: one more compile each.
+    session.run_all(Arch::Hive, &queries);
+    assert_eq!(sys.compilations(), 2 * queries.len() as u64);
+    // A fresh session has a cold cache.
+    sys.session().run(Arch::Hipe, &Query::q6());
+    assert_eq!(sys.compilations(), 2 * queries.len() as u64 + 1);
+}
+
+#[test]
 fn plans_compile_once_and_rerun() {
     let sys = System::new(ROWS, SEED);
     let q = Query::q6();
