@@ -183,7 +183,6 @@ fn main() {
         (Query::quantity_below_permille(100), 2),
         (Query::quantity_below_permille(500).with_aggregate(), 1),
     ];
-    let mut prev_qpgc = 0;
     for n in [1usize, 2, 4] {
         let cluster = Cluster::new(rows, SEED, n);
         let cfg = ServiceConfig::closed(Arch::Hipe, SERVE_QUERIES, mix.clone(), SERVE_CLIENTS);
@@ -191,11 +190,9 @@ fn main() {
         let report = run_service(&cluster, &cfg);
         let wall = start.elapsed();
         assert_eq!(report.queries, SERVE_QUERIES as u64);
-        assert!(
-            report.queries_per_gigacycle() >= prev_qpgc,
-            "service throughput fell at {n} shards"
-        );
-        prev_qpgc = report.queries_per_gigacycle();
+        // Throughput monotonicity is check_figures' invariant — a dip
+        // must surface as its structured CI failure over the written
+        // JSON, not as a mid-sweep panic that leaves stale figures.
         let name = format!("serve_{n}");
         println!(
             "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10} {:>12.1}",

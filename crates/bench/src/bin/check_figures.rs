@@ -208,14 +208,32 @@ fn check(text: &str) -> Result<usize, String> {
 }
 
 /// Extracts top-level integer `field` from a point block.
+///
+/// The search stops at the nested per-arch object map (point-level
+/// fields precede it), and a key only counts when it sits at a JSON
+/// delimiter — `{`, `,`, or whitespace — so the same text inside a
+/// string value (where the quote would be escaped) or in the middle
+/// of a longer field name cannot satisfy it.
 fn point_field(block: &str, field: &str) -> Option<u64> {
+    let top = &block[..block.find("\"archs\": {").unwrap_or(block.len())];
     let key = format!("\"{field}\": ");
-    let at = block.find(&key)? + key.len();
-    let digits: String = block[at..]
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect();
-    digits.parse().ok()
+    let mut from = 0;
+    while let Some(i) = top[from..].find(&key) {
+        let at = from + i;
+        let anchored = top[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| c == '{' || c == ',' || c.is_whitespace());
+        if anchored {
+            let digits: String = top[at + key.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            return digits.parse().ok();
+        }
+        from = at + key.len();
+    }
+    None
 }
 
 /// Extracts integer `field` from `arch`'s object within a point block.
@@ -376,6 +394,23 @@ mod tests {
             "\"p95_cycles\": 400, \"p99_cycles\": 300",
         );
         assert!(check(&text).unwrap_err().contains("disordered"));
+    }
+
+    #[test]
+    fn point_field_requires_a_delimited_top_level_key() {
+        // The key's text inside a string value (escaped quotes) or as
+        // the tail of a longer field name is not the field.
+        let decoy = "{\"name\": \"serve_x\", \
+                     \"note\": \"was \\\"queries_per_gigacycle\\\": 9\", \
+                     \"old_queries_per_gigacycle\": 7}";
+        assert_eq!(point_field(decoy, "queries_per_gigacycle"), None);
+        // A real field parses whether preceded by `{`, `,` or a line
+        // start, and an arch object's fields are out of scope.
+        let real = "{\"p50_cycles\": 3,\n  \"p95_cycles\": 4, \"archs\": {\
+                    \"HIPE\": {\"p99_cycles\": 9}}}";
+        assert_eq!(point_field(real, "p50_cycles"), Some(3));
+        assert_eq!(point_field(real, "p95_cycles"), Some(4));
+        assert_eq!(point_field(real, "p99_cycles"), None);
     }
 
     #[test]

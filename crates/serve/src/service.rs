@@ -145,10 +145,12 @@ pub struct ServiceReport {
     pub frontend_busy: Cycle,
     /// Cycles arrivals spent blocked on the admission window.
     pub admission_stall: Cycle,
-    /// Query compilations across all shards (the plan cache keeps
-    /// this at one per distinct query per shard).
+    /// Query compilations this run performed across all shards (the
+    /// plan cache keeps it at one per distinct mix query per shard,
+    /// however many queries were served).
     pub compilations: u64,
-    /// Table materializations across all shards (one per shard).
+    /// Table materializations this run performed (one per shard: the
+    /// run opens a single warm session over the cluster).
     pub materializations: u64,
 }
 
@@ -271,11 +273,17 @@ impl<'a> Scheduler<'a> {
             return Vec::new();
         }
         // The batch leaves the front end once its last member has
-        // arrived and every member clears admission.
-        let mut ready = 0;
-        for p in &self.batch {
-            ready = ready.max(self.window.admit(p.arrival));
-        }
+        // arrived and the window holds a free slot for *every*
+        // member — the batch enters flight as one unit, each member
+        // consuming its own slot (batch <= max_in_flight is asserted
+        // up front, so the group always fits).
+        let arrived = self
+            .batch
+            .iter()
+            .map(|p| p.arrival)
+            .max()
+            .expect("dispatch requires a non-empty batch");
+        let ready = self.window.admit_batch(arrived, self.batch.len());
         let cost = self.cfg.batch_setup + self.cfg.per_query_dispatch * self.batch.len() as Cycle;
         let (_, scattered) = self.frontend.serve(ready, cost);
         // Scatter each member to every shard; a shard serves one
@@ -329,6 +337,12 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     );
     let total_weight: u64 = cfg.mix.iter().map(|&(_, w)| w as u64).sum();
     assert!(total_weight > 0, "the query mix has zero total weight");
+
+    // Counter snapshots, so the report covers this run alone — a
+    // long-lived cluster hosts many runs, and its lifetime totals
+    // would misattribute earlier runs' work to this one.
+    let compilations_before = cluster.compilations();
+    let materializations_before = cluster.materializations();
 
     // Profile pass: one warm execution of each distinct mix query per
     // shard. The plan caches make this compile-once; determinism (warm
@@ -413,8 +427,8 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
         shard_busy: sched.shards.iter().map(Server::busy_cycles).collect(),
         frontend_busy: sched.frontend.busy_cycles(),
         admission_stall: sched.window.stall_cycles(),
-        compilations: cluster.compilations(),
-        materializations: cluster.materializations(),
+        compilations: cluster.compilations() - compilations_before,
+        materializations: cluster.materializations() - materializations_before,
     }
 }
 

@@ -41,6 +41,13 @@ fn service_runs_are_deterministic() {
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.latency.p99, b.latency.p99);
     assert_eq!(a.shard_busy, b.shard_busy);
+    // Counters are per-run deltas, not cluster lifetime totals: the
+    // second run reports its own 3 mix queries x 2 shards compiles
+    // and 2 materializations, not twice that.
+    assert_eq!(a.compilations, 6);
+    assert_eq!(b.compilations, 6);
+    assert_eq!(a.materializations, 2);
+    assert_eq!(b.materializations, 2);
 }
 
 #[test]
@@ -128,6 +135,38 @@ fn admission_window_throttles_the_open_flood() {
         report.admission_stall > 0,
         "a 2-deep window must stall a flood"
     );
+}
+
+#[test]
+fn batched_flood_respects_the_admission_window() {
+    // Regression: every batch member must consume its own window
+    // slot. Per-member admit/complete interleaving used to free one
+    // slot for the whole batch, letting a full window hold
+    // capacity + batch - 1 queries (tripping the in-flight
+    // debug_assert) and understating admission_stall.
+    let cluster = Cluster::new(512, SEED, 2);
+    let flood = ServiceConfig {
+        batch: 4,
+        max_in_flight: 4,
+        ..ServiceConfig::open(Arch::Hipe, 72, mix(), 1)
+    };
+    let report = run_service(&cluster, &flood);
+    assert_eq!(report.queries, 72);
+    assert!(
+        report.admission_stall > 0,
+        "a window as wide as one batch must stall a back-to-back flood"
+    );
+}
+
+#[test]
+fn default_open_config_survives_window_saturation() {
+    // The review repro: default open-loop batching (4) against the
+    // default 64-deep window, enough back-to-back queries to wrap the
+    // window many times over.
+    let cluster = Cluster::new(512, SEED, 2);
+    let report = run_service(&cluster, &ServiceConfig::open(Arch::Hipe, 300, mix(), 1));
+    assert_eq!(report.queries, 300);
+    assert!(report.admission_stall > 0, "300 back-to-back queries must outrun a 64-deep window");
 }
 
 #[test]

@@ -187,8 +187,11 @@ impl Samples {
         }
         // Nearest rank: ceil(p/100 * n), clamped to [1, n] so p = 0
         // yields the minimum rather than an invalid rank of zero.
+        // Multiply before dividing: rounding p/100.0 first can push an
+        // exact boundary (p = 7, n = 100) just above its integer rank,
+        // and ceil would then overshoot by one.
         let n = self.values.len();
-        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        let rank = ((p * n as f64 / 100.0).ceil() as usize).clamp(1, n);
         Some(self.values[rank - 1])
     }
 
@@ -406,6 +409,22 @@ mod tests {
             prev = v;
         }
         assert_eq!(s.percentile(100.0), s.max());
+    }
+
+    #[test]
+    fn integer_percentiles_of_100_samples_hit_exact_ranks() {
+        // Exact nearest-rank boundaries: with n = 100, percentile p
+        // must return the p-th smallest value for every integer p.
+        // Dividing p by 100.0 before multiplying rounds some
+        // boundaries (p = 7) just past their integer rank, and ceil
+        // then overshoots by one.
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.push(v);
+        }
+        for p in 1..=100u64 {
+            assert_eq!(s.percentile(p as f64), Some(p), "p{p}");
+        }
     }
 
     #[test]

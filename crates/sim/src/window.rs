@@ -79,14 +79,36 @@ impl Window {
     /// cycle. Must be followed by exactly one [`complete`](Self::complete)
     /// call for this operation.
     pub fn admit(&mut self, arrival: Cycle) -> Cycle {
-        self.admitted += 1;
-        if self.inflight.len() < self.capacity {
-            return arrival;
+        self.admit_batch(arrival, 1)
+    }
+
+    /// Requests admission for `count` operations entering together at
+    /// `arrival`; returns the earliest cycle the whole group can
+    /// enter. The group needs `count` free slots — each member
+    /// consumes its own — so the window waits for (and evicts) as
+    /// many oldest completions as that takes. Must be followed by
+    /// exactly `count` [`complete`](Self::complete) calls, one per
+    /// member. Stall cycles accrue per member: all `count` operations
+    /// wait from `arrival` to the returned cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the capacity (a group
+    /// wider than the window could never be in flight together).
+    pub fn admit_batch(&mut self, arrival: Cycle, count: usize) -> Cycle {
+        assert!(count > 0, "an admission group needs at least one operation");
+        assert!(
+            count <= self.capacity,
+            "group ({count}) exceeds window capacity ({})",
+            self.capacity
+        );
+        self.admitted += count as u64;
+        let mut admitted = arrival;
+        while self.inflight.len() + count > self.capacity {
+            let Reverse(oldest) = self.inflight.pop().expect("an over-full window is non-empty");
+            admitted = admitted.max(oldest);
         }
-        // Full: wait for the oldest completion.
-        let Reverse(oldest) = self.inflight.pop().expect("window is full, non-empty");
-        let admitted = arrival.max(oldest);
-        self.stall += admitted - arrival;
+        self.stall += (admitted - arrival) * count as Cycle;
         admitted
     }
 
@@ -170,6 +192,63 @@ mod tests {
         // caller claims completion at 5.
         let at = w.admit_until(0, 5);
         assert_eq!(at, 10);
+    }
+
+    #[test]
+    fn batch_admission_reserves_one_slot_per_member() {
+        let mut w = Window::new(4);
+        for done in [10, 40, 20, 30] {
+            let _ = w.admit(0);
+            w.complete(done);
+        }
+        // A group of 3 needs 3 free slots: it waits for the three
+        // oldest completions (10, 20, 30) and enters at cycle 30.
+        assert_eq!(w.admit_batch(5, 3), 30);
+        // Every member stalls from its requested cycle to admission.
+        assert_eq!(w.stall_cycles(), (30 - 5) * 3);
+        for done in [50, 60, 70] {
+            w.complete(done);
+        }
+        assert!(w.len() <= w.capacity());
+        assert_eq!(w.admitted(), 7);
+    }
+
+    #[test]
+    fn batch_as_wide_as_the_window_waits_for_a_full_drain() {
+        let mut w = Window::new(2);
+        let _ = w.admit_until(0, 100);
+        let _ = w.admit_until(0, 50);
+        assert_eq!(w.admit_batch(0, 2), 100);
+        w.complete(120);
+        w.complete(130);
+        assert_eq!(w.drain(), 130);
+    }
+
+    #[test]
+    fn batch_of_one_matches_plain_admit() {
+        let mut a = Window::new(2);
+        let mut b = Window::new(2);
+        for done in [40, 10, 90, 30] {
+            let at_a = a.admit(5);
+            a.complete(done);
+            let at_b = b.admit_batch(5, 1);
+            b.complete(done);
+            assert_eq!(at_a, at_b);
+        }
+        assert_eq!(a.stall_cycles(), b.stall_cycles());
+        assert_eq!(a.admitted(), b.admitted());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window capacity")]
+    fn batch_wider_than_capacity_panics() {
+        let _ = Window::new(2).admit_batch(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_batch_panics() {
+        let _ = Window::new(2).admit_batch(0, 0);
     }
 
     #[test]
