@@ -21,21 +21,27 @@
 //! `hipe-serve` service scheduler: a fixed closed-loop load (a
 //! weighted query mix over saturating clients) against a sharded
 //! cluster of that many cubes, reporting service throughput
-//! (queries per gigacycle) and p50/p95/p99 latency.
+//! (queries per gigacycle) and p50/p95/p99 latency. Two replication
+//! points extend it: `serve_4x2` doubles every shard to two replica
+//! cubes (throughput must reach ≥ 1.7× of `serve_4`), and
+//! `serve_fail` re-runs that cluster with replica 0 of shard 1 killed
+//! fail-stop at half the clean makespan — on every architecture the
+//! failover run's answer digest must equal the fault-free run's.
 //!
 //! Besides the human-readable table, all sweeps are written to
 //! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
 //! the performance trajectory of the simulator is machine-checkable
 //! across PRs (`check_figures` validates the schema, including that
-//! `par_*` cycles fall monotonically with the engine count and
-//! `serve_*` throughput rises monotonically with the shard count).
+//! `par_*` cycles fall monotonically with the engine count, `serve_*`
+//! throughput rises monotonically with the shard and replica count,
+//! and the `serve_fail` digests match their clean counterparts).
 //!
 //! Run with `cargo bench -p hipe-bench --bench figures`; scale the
 //! table with `HIPE_BENCH_ROWS`.
 
 use hipe::{Arch, RunReport, System};
 use hipe_db::Query;
-use hipe_serve::{run_service, Cluster, ServiceConfig, ServiceReport};
+use hipe_serve::{run_service, Cluster, FaultPlan, ServiceConfig, ServiceReport};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -204,8 +210,99 @@ fn main() {
             report.latency.p99,
             wall.as_secs_f64() * 1e3,
         );
-        json_points.push(serve_json_point(&name, &report, wall.as_secs_f64() * 1e3));
+        json_points.push(serve_json_point(
+            &name,
+            &report,
+            "",
+            wall.as_secs_f64() * 1e3,
+        ));
     }
+
+    // Replication point: the same load against 4 shards x 2 replica
+    // cubes. Each scattered sub-query goes to one replica per shard,
+    // so the copies serve concurrently — check_figures requires the
+    // throughput to reach at least 1.7x of serve_4's.
+    let cluster = Cluster::replicated(rows, SEED, 4, 2);
+    let cfg = ServiceConfig::closed(Arch::Hipe, SERVE_QUERIES, mix.clone(), SERVE_CLIENTS);
+    let start = Instant::now();
+    let replicated = run_service(&cluster, &cfg);
+    let wall = start.elapsed();
+    assert_eq!(replicated.queries, SERVE_QUERIES as u64);
+    println!(
+        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10} {:>12.1}",
+        "serve_4x2",
+        "4x2",
+        replicated.queries_per_gigacycle(),
+        replicated.latency.p50,
+        replicated.latency.p95,
+        replicated.latency.p99,
+        wall.as_secs_f64() * 1e3,
+    );
+    json_points.push(serve_json_point(
+        "serve_4x2",
+        &replicated,
+        "",
+        wall.as_secs_f64() * 1e3,
+    ));
+
+    // Failover point: the replicated cluster again, with replica 0 of
+    // shard 1 killed fail-stop at half the clean makespan. Sub-queries
+    // lost on the dark replica are re-dispatched to its survivor, and
+    // the service answer must come out bit-identical on every
+    // architecture — the per-arch digest pairs below are what
+    // check_figures compares.
+    let start = Instant::now();
+    let mut digests = String::new();
+    let mut hipe_failed = None;
+    for arch in Arch::ALL {
+        let cfg = ServiceConfig::closed(arch, SERVE_QUERIES, mix.clone(), SERVE_CLIENTS);
+        let clean = if matches!(arch, Arch::Hipe) {
+            replicated.clone()
+        } else {
+            run_service(&cluster, &cfg)
+        };
+        let failed = run_service(
+            &cluster,
+            &ServiceConfig {
+                faults: vec![FaultPlan::new(1, 0, clean.makespan / 2)],
+                ..cfg
+            },
+        );
+        assert_eq!(
+            failed.answers, clean.answers,
+            "{arch}: failover changed the service answer"
+        );
+        writeln!(
+            digests,
+            "      \"digest_{arch}_clean\": {},\n      \"digest_{arch}_fault\": {},",
+            clean.answers_digest(),
+            failed.answers_digest(),
+        )
+        .expect("writing to a String cannot fail");
+        if matches!(arch, Arch::Hipe) {
+            hipe_failed = Some(failed);
+        }
+    }
+    let failed = hipe_failed.expect("HIPE is in Arch::ALL");
+    let wall = start.elapsed();
+    println!(
+        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10} {:>12.1}  ({} failover, {} redispatched)",
+        "serve_fail",
+        "4x2",
+        failed.queries_per_gigacycle(),
+        failed.latency.p50,
+        failed.latency.p95,
+        failed.latency.p99,
+        wall.as_secs_f64() * 1e3,
+        failed.failovers,
+        failed.redispatched,
+    );
+    json_points.push(serve_json_point(
+        "serve_fail",
+        &failed,
+        &digests,
+        wall.as_secs_f64() * 1e3,
+    ));
 
     // Default next to the workspace root regardless of the bench CWD.
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
@@ -257,22 +354,28 @@ fn json_point(name: &str, query: &Query, reports: &[RunReport], wall_ms: f64) ->
 }
 
 /// Renders one service-sweep point. No per-arch objects here — the
-/// row describes the service (throughput + latency percentiles), and
-/// every integer field is digit-parseable by `check_figures`.
-fn serve_json_point(name: &str, report: &ServiceReport, wall_ms: f64) -> String {
+/// row describes the service (throughput + latency percentiles + the
+/// failover counters), and every integer field is digit-parseable by
+/// `check_figures`. `extra` carries additional pre-indented
+/// `"key": value,` lines (the `serve_fail` answer digests).
+fn serve_json_point(name: &str, report: &ServiceReport, extra: &str, wall_ms: f64) -> String {
     format!(
         "    {{\n      \"name\": \"{name}\",\n      \"shards\": {},\n      \
-         \"queries\": {},\n      \"makespan_cycles\": {},\n      \
+         \"replicas\": {},\n      \"queries\": {},\n      \"makespan_cycles\": {},\n      \
          \"queries_per_gigacycle\": {},\n      \"p50_cycles\": {},\n      \
          \"p95_cycles\": {},\n      \"p99_cycles\": {},\n      \
+         \"failovers\": {},\n      \"redispatched\": {},\n{extra}      \
          \"sim_wall_ms\": {wall_ms:.3}\n    }}",
         report.shards,
+        report.replicas,
         report.queries,
         report.makespan,
         report.queries_per_gigacycle(),
         report.latency.p50,
         report.latency.p95,
         report.latency.p99,
+        report.failovers,
+        report.redispatched,
     )
 }
 

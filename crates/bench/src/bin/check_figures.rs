@@ -12,11 +12,18 @@
 //! count grows — a regression that makes more engines slower fails
 //! the pipeline.
 //!
-//! The sharded service sweep (`serve_1` / `serve_2` / `serve_4`,
-//! emitted by the `hipe-serve` scheduler) is validated for presence,
-//! ordered latency percentiles, and *monotonically non-decreasing*
-//! throughput (queries per gigacycle) as the shard count grows — a
-//! regression where adding cubes slows the service down fails CI.
+//! The sharded service sweep (`serve_1` / `serve_2` / `serve_4` /
+//! `serve_4x2`, emitted by the `hipe-serve` scheduler) is validated
+//! for presence, ordered latency percentiles, and *monotonically
+//! non-decreasing* throughput (queries per gigacycle) as the cube
+//! count grows — a regression where adding cubes slows the service
+//! down fails CI. The replication point `serve_4x2` must additionally
+//! reach at least 1.7x of `serve_4`'s throughput (one sub-query per
+//! replica means two replicas serve nearly twice the load), and the
+//! failover point `serve_fail` must have actually failed over
+//! (`failovers` ≥ 1), served every query, and produced per-arch
+//! answer digests equal to its fault-free counterparts — the
+//! machine-checked form of "failover is bit-identical".
 //!
 //! Usage: run the `figures` bench first, then
 //! `cargo run -p hipe-bench --bin check_figures`. The file location
@@ -43,9 +50,10 @@ const LOGIC_ARCHS: [&str; 2] = ["HIVE", "HIPE"];
 /// order (cycles must not increase along this list).
 const PARTITION_POINTS: [&str; 4] = ["par_1", "par_2", "par_4", "par_8"];
 
-/// Point names of the sharded service sweep, in shard-count order
-/// (throughput must not decrease along this list).
-const SERVE_POINTS: [&str; 3] = ["serve_1", "serve_2", "serve_4"];
+/// Point names of the sharded service sweep, in cube-count order
+/// (throughput must not decrease along this list; the last point
+/// doubles the shards of `serve_4` into replicas).
+const SERVE_POINTS: [&str; 4] = ["serve_1", "serve_2", "serve_4", "serve_4x2"];
 
 fn main() -> ExitCode {
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
@@ -171,9 +179,11 @@ fn check(text: &str) -> Result<usize, String> {
         }
     }
 
-    // Service sweep: every shard count present, throughput monotone
-    // non-decreasing in shard count, percentiles present and ordered.
+    // Service sweep: every cube count present, throughput monotone
+    // non-decreasing in cube count, percentiles present and ordered.
     let mut prev_qpgc = 0;
+    let mut serve_4_qpgc = 0;
+    let mut serve_4x2_qpgc = 0;
     for wanted in SERVE_POINTS {
         let (_, block) = blocks
             .iter()
@@ -186,11 +196,16 @@ fn check(text: &str) -> Result<usize, String> {
         }
         if qpgc < prev_qpgc {
             return Err(format!(
-                "point {wanted}: throughput fell with more shards \
+                "point {wanted}: throughput fell with more cubes \
                  ({prev_qpgc} -> {qpgc} q/Gcyc)"
             ));
         }
         prev_qpgc = qpgc;
+        match wanted {
+            "serve_4" => serve_4_qpgc = qpgc,
+            "serve_4x2" => serve_4x2_qpgc = qpgc,
+            _ => {}
+        }
         let p50 = point_field(block, "p50_cycles")
             .ok_or_else(|| format!("point {wanted} lacks p50_cycles"))?;
         let p95 = point_field(block, "p95_cycles")
@@ -201,6 +216,56 @@ fn check(text: &str) -> Result<usize, String> {
             return Err(format!(
                 "point {wanted}: latency percentiles disordered \
                  (p50 {p50}, p95 {p95}, p99 {p99})"
+            ));
+        }
+    }
+
+    // Replication: two replicas per shard must buy at least 1.7x of
+    // the single-replica throughput (integer-only: qpgc_4x2 / qpgc_4
+    // >= 17/10), and the point must really carry two replicas.
+    let (_, block_4x2) = blocks
+        .iter()
+        .find(|(name, _)| name == "serve_4x2")
+        .expect("presence checked in the sweep loop");
+    if point_field(block_4x2, "replicas") != Some(2) {
+        return Err("point serve_4x2 does not report 2 replicas".into());
+    }
+    if serve_4x2_qpgc * 10 < serve_4_qpgc * 17 {
+        return Err(format!(
+            "point serve_4x2: replication speedup below 1.7x \
+             ({serve_4_qpgc} -> {serve_4x2_qpgc} q/Gcyc)"
+        ));
+    }
+    let queries_4x2 = point_field(block_4x2, "queries").ok_or("point serve_4x2 lacks queries")?;
+
+    // Failover: the kill actually fired, every query was still
+    // served, and on every architecture the answer digest equals the
+    // fault-free run's — bit-identical failover, machine-checked.
+    let (_, fail) = blocks
+        .iter()
+        .find(|(name, _)| name == "serve_fail")
+        .ok_or("failover point serve_fail missing")?;
+    let failovers = point_field(fail, "failovers").ok_or("point serve_fail lacks failovers")?;
+    if failovers == 0 {
+        return Err("point serve_fail: no failover fired (the fault was a no-op)".into());
+    }
+    point_field(fail, "redispatched").ok_or("point serve_fail lacks redispatched")?;
+    let queries_fail = point_field(fail, "queries").ok_or("point serve_fail lacks queries")?;
+    if queries_fail != queries_4x2 {
+        return Err(format!(
+            "point serve_fail: lost queries under failover \
+             ({queries_4x2} clean vs {queries_fail} with the fault)"
+        ));
+    }
+    for arch in ARCHS {
+        let clean = point_field(fail, &format!("digest_{arch}_clean"))
+            .ok_or_else(|| format!("point serve_fail lacks digest_{arch}_clean"))?;
+        let fault = point_field(fail, &format!("digest_{arch}_fault"))
+            .ok_or_else(|| format!("point serve_fail lacks digest_{arch}_fault"))?;
+        if clean != fault {
+            return Err(format!(
+                "point serve_fail: {arch} answer digest changed under failover \
+                 ({clean} clean vs {fault} with the fault)"
             ));
         }
     }
@@ -283,15 +348,33 @@ mod tests {
         )
     }
 
-    fn serve_point(name: &str, qpgc: u64, p50: u64, p95: u64, p99: u64) -> String {
+    fn serve_point(name: &str, replicas: u64, qpgc: u64, p50: u64, p95: u64, p99: u64) -> String {
         format!(
-            "{{\"name\": \"{name}\", \"shards\": 1, \"queries\": 96, \
-             \"makespan_cycles\": 1000, \"queries_per_gigacycle\": {qpgc}, \
-             \"p50_cycles\": {p50}, \"p95_cycles\": {p95}, \"p99_cycles\": {p99}}}"
+            "{{\"name\": \"{name}\", \"shards\": 1, \"replicas\": {replicas}, \
+             \"queries\": 96, \"makespan_cycles\": 1000, \"queries_per_gigacycle\": {qpgc}, \
+             \"p50_cycles\": {p50}, \"p95_cycles\": {p95}, \"p99_cycles\": {p99}, \
+             \"failovers\": 0, \"redispatched\": 0}}"
         )
     }
 
-    fn doc_full(gather_q6: u64, par_cycles: [u64; 4], serve_qpgc: [u64; 3]) -> String {
+    fn fail_point(queries: u64, failovers: u64, hipe_fault_digest: u64) -> String {
+        let digests: Vec<String> = ARCHS
+            .iter()
+            .map(|a| {
+                let fault = if *a == "HIPE" { hipe_fault_digest } else { 11 };
+                format!("\"digest_{a}_clean\": 11, \"digest_{a}_fault\": {fault}")
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"serve_fail\", \"shards\": 4, \"replicas\": 2, \
+             \"queries\": {queries}, \"makespan_cycles\": 1000, \
+             \"queries_per_gigacycle\": 700, \"p50_cycles\": 100, \"p95_cycles\": 200, \
+             \"p99_cycles\": 300, \"failovers\": {failovers}, \"redispatched\": 6, {}}}",
+            digests.join(", ")
+        )
+    }
+
+    fn doc_full(gather_q6: u64, par_cycles: [u64; 4], serve_qpgc: [u64; 4]) -> String {
         let mut points = vec![
             four_arch_point("sel_2%", 0),
             four_arch_point("agg_2%", 7),
@@ -303,8 +386,10 @@ mod tests {
             points.push(par_point(name, cycles));
         }
         for (name, qpgc) in SERVE_POINTS.iter().zip(serve_qpgc) {
-            points.push(serve_point(name, qpgc, 100, 200, 300));
+            let replicas = if *name == "serve_4x2" { 2 } else { 1 };
+            points.push(serve_point(name, replicas, qpgc, 100, 200, 300));
         }
+        points.push(fail_point(96, 1, 11));
         format!(
             "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
              \"points\": [{}]}}",
@@ -313,7 +398,7 @@ mod tests {
     }
 
     fn doc_with(gather_q6: u64, par_cycles: [u64; 4]) -> String {
-        doc_full(gather_q6, par_cycles, [100, 180, 300])
+        doc_full(gather_q6, par_cycles, [100, 180, 300, 600])
     }
 
     fn doc(gather_q6: u64) -> String {
@@ -322,7 +407,7 @@ mod tests {
 
     #[test]
     fn accepts_a_complete_document() {
-        assert_eq!(check(&doc(10)), Ok(12));
+        assert_eq!(check(&doc(10)), Ok(14));
     }
 
     #[test]
@@ -371,21 +456,22 @@ mod tests {
 
     #[test]
     fn rejects_throughput_falling_with_more_shards() {
-        let text = doc_full(10, [800, 400, 200, 100], [100, 90, 300]);
+        let text = doc_full(10, [800, 400, 200, 100], [100, 90, 300, 600]);
         let err = check(&text).unwrap_err();
         assert!(err.contains("serve_2") && err.contains("fell"), "{err}");
     }
 
     #[test]
     fn accepts_flat_service_scaling() {
-        // Non-decreasing, not strictly increasing, is acceptable (a
-        // tiny table can saturate the front end before the shards).
-        assert!(check(&doc_full(10, [800, 400, 200, 100], [100, 100, 100])).is_ok());
+        // Non-decreasing, not strictly increasing, is acceptable for
+        // the *shard* points (a tiny table can saturate the front end
+        // before the shards); the replication point still owes 1.7x.
+        assert!(check(&doc_full(10, [800, 400, 200, 100], [100, 100, 100, 170])).is_ok());
     }
 
     #[test]
     fn rejects_zero_or_disordered_service_rows() {
-        let text = doc_full(10, [800, 400, 200, 100], [0, 100, 200]);
+        let text = doc_full(10, [800, 400, 200, 100], [0, 100, 200, 400]);
         assert!(check(&text)
             .unwrap_err()
             .contains("zero service throughput"));
@@ -394,6 +480,57 @@ mod tests {
             "\"p95_cycles\": 400, \"p99_cycles\": 300",
         );
         assert!(check(&text).unwrap_err().contains("disordered"));
+    }
+
+    #[test]
+    fn rejects_replication_speedup_below_17x() {
+        // 300 -> 400 q/Gcyc is monotone but short of the 1.7x the
+        // second replica owes.
+        let text = doc_full(10, [800, 400, 200, 100], [100, 180, 300, 400]);
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("below 1.7x"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_replication_point_without_two_replicas() {
+        let text = doc(10).replace(
+            "\"name\": \"serve_4x2\", \"shards\": 1, \"replicas\": 2",
+            "\"name\": \"serve_4x2\", \"shards\": 1, \"replicas\": 1",
+        );
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("does not report 2 replicas"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_failover_run_whose_fault_never_fired() {
+        // "failovers": 1 appears only in the serve_fail point.
+        let text = doc(10).replace("\"failovers\": 1", "\"failovers\": 0");
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("no failover fired"), "{err}");
+    }
+
+    #[test]
+    fn rejects_query_loss_under_failover() {
+        let text = doc(10).replace(
+            "\"queries\": 96, \"makespan_cycles\": 1000, \"queries_per_gigacycle\": 700",
+            "\"queries\": 95, \"makespan_cycles\": 1000, \"queries_per_gigacycle\": 700",
+        );
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("lost queries"), "{err}");
+    }
+
+    #[test]
+    fn rejects_an_answer_digest_changed_by_failover() {
+        assert!(check(&doc(10)).is_ok());
+        let err = check(
+            &doc_full(10, [800, 400, 200, 100], [100, 180, 300, 600])
+                .replace("\"digest_HIPE_fault\": 11", "\"digest_HIPE_fault\": 12"),
+        )
+        .unwrap_err();
+        assert!(err.contains("HIPE answer digest changed"), "{err}");
+        // A missing digest pair is as fatal as a mismatched one.
+        let err = check(&doc(10).replace("digest_x86_clean", "digest_x86_gone")).unwrap_err();
+        assert!(err.contains("digest_x86_clean"), "{err}");
     }
 
     #[test]

@@ -24,17 +24,84 @@ pub struct ClusterConfig {
     /// Vault-group engines inside each shard's cube (the PR 4 knob,
     /// applied per shard).
     pub partitions: usize,
+    /// Cubes backing each shard's row range. Every replica of a shard
+    /// is built from the same rows and the same seed (via
+    /// `LineitemTable::generate_range`), so replicas are bit-identical
+    /// *by construction* — any replica can answer for its shard.
+    pub replicas: usize,
 }
 
 impl ClusterConfig {
-    /// A paper-configured cluster: `shards` single-engine cubes.
+    /// A paper-configured cluster: `shards` single-engine cubes, one
+    /// replica each.
     pub fn new(rows: usize, seed: u64, shards: usize) -> Self {
         ClusterConfig {
             rows,
             seed,
             shards,
             partitions: 1,
+            replicas: 1,
         }
+    }
+
+    /// A replicated cluster: `shards` row ranges, each backed by
+    /// `replicas` bit-identical cubes.
+    pub fn replicated(rows: usize, seed: u64, shards: usize, replicas: usize) -> Self {
+        ClusterConfig {
+            replicas,
+            ..ClusterConfig::new(rows, seed, shards)
+        }
+    }
+}
+
+/// The `R` bit-identical cubes backing one shard's row range.
+///
+/// Replicas share the range's rows and generation seed, so every
+/// replica holds byte-identical column data and answers any query over
+/// the range identically — which is what makes replica routing and
+/// fail-stop failover answer-preserving (the service's profile pass
+/// asserts it on every run).
+#[derive(Debug)]
+pub struct ReplicaSet {
+    rows: Range<usize>,
+    replicas: Vec<System>,
+}
+
+impl ReplicaSet {
+    /// Global row range this set serves.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Number of replicas backing the range.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always `false`: a set holds at least one replica by
+    /// construction.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Replica `r`'s [`System`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn replica(&self, r: usize) -> &System {
+        assert!(
+            r < self.replicas.len(),
+            "replica {r} out of range ({} replicas)",
+            self.replicas.len()
+        );
+        &self.replicas[r]
+    }
+
+    /// The primary (replica 0) — the cube the unrouted scatter-gather
+    /// path reads.
+    pub fn primary(&self) -> &System {
+        &self.replicas[0]
     }
 }
 
@@ -70,7 +137,7 @@ impl ClusterConfig {
 #[derive(Debug)]
 pub struct Cluster {
     cfg: ClusterConfig,
-    shards: Vec<System>,
+    sets: Vec<ReplicaSet>,
     bounds: Vec<Range<usize>>,
 }
 
@@ -86,12 +153,23 @@ impl Cluster {
         Cluster::with_config(ClusterConfig::new(rows, seed, shards))
     }
 
+    /// Creates a replicated cluster of `shards` row ranges, each
+    /// backed by `replicas` bit-identical single-engine cubes.
+    ///
+    /// # Panics
+    ///
+    /// As [`with_config`](Self::with_config).
+    pub fn replicated(rows: usize, seed: u64, shards: usize, replicas: usize) -> Self {
+        Cluster::with_config(ClusterConfig::replicated(rows, seed, shards, replicas))
+    }
+
     /// Creates a cluster with explicit parameters.
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.shards` is zero or exceeds `cfg.rows`, or if
-    /// `cfg.partitions` does not divide the vault sweep.
+    /// Panics if `cfg.shards` is zero or exceeds `cfg.rows`, if
+    /// `cfg.replicas` is zero, or if `cfg.partitions` does not divide
+    /// the vault sweep.
     pub fn with_config(cfg: ClusterConfig) -> Self {
         assert!(cfg.shards > 0, "a cluster needs at least one shard");
         assert!(
@@ -100,6 +178,7 @@ impl Cluster {
             cfg.shards,
             cfg.rows
         );
+        assert!(cfg.replicas > 0, "a shard needs at least one replica");
         // Balanced contiguous split: the first `rows % shards` shards
         // take one extra tuple, so ranges differ in size by at most 1.
         let base = cfg.rows / cfg.shards;
@@ -112,22 +191,23 @@ impl Cluster {
             start += len;
         }
         debug_assert_eq!(start, cfg.rows);
-        let shards = bounds
+        let sets = bounds
             .iter()
-            .map(|range| {
-                System::with_config(SystemConfig {
-                    rows: range.len(),
-                    row_offset: range.start,
-                    partitions: cfg.partitions,
-                    ..SystemConfig::paper(range.len(), cfg.seed)
-                })
+            .map(|range| ReplicaSet {
+                rows: range.clone(),
+                replicas: (0..cfg.replicas)
+                    .map(|_| {
+                        System::with_config(SystemConfig {
+                            rows: range.len(),
+                            row_offset: range.start,
+                            partitions: cfg.partitions,
+                            ..SystemConfig::paper(range.len(), cfg.seed)
+                        })
+                    })
+                    .collect(),
             })
             .collect();
-        Cluster {
-            cfg,
-            shards,
-            bounds,
-        }
+        Cluster { cfg, sets, bounds }
     }
 
     /// The configuration in use.
@@ -142,12 +222,36 @@ impl Cluster {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.sets.len()
     }
 
-    /// Shard `s`'s [`System`].
+    /// Replicas backing each shard.
+    pub fn replicas(&self) -> usize {
+        self.cfg.replicas
+    }
+
+    /// Shard `s`'s primary [`System`] (replica 0).
     pub fn shard(&self, s: usize) -> &System {
-        &self.shards[s]
+        self.sets[s].primary()
+    }
+
+    /// Shard `s`'s [`ReplicaSet`].
+    pub fn replica_set(&self, s: usize) -> &ReplicaSet {
+        &self.sets[s]
+    }
+
+    /// Replica `r` of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn replica(&self, s: usize, r: usize) -> &System {
+        assert!(
+            s < self.sets.len(),
+            "shard {s} out of range ({} shards)",
+            self.sets.len()
+        );
+        self.sets[s].replica(r)
     }
 
     /// Global row range owned by shard `s`.
@@ -156,27 +260,39 @@ impl Cluster {
     }
 
     /// Host cycles the gather step spends merging shard answers
-    /// (zero for a single shard).
+    /// (zero for a single shard). Replication does not change the
+    /// merge: however many replicas back a shard, exactly one answers
+    /// per query.
     pub fn merge_cycles(&self) -> Cycle {
-        (self.shards.len() as Cycle - 1) * MERGE_CYCLES_PER_SHARD
+        (self.sets.len() as Cycle - 1) * MERGE_CYCLES_PER_SHARD
     }
 
-    /// Total table materializations across all shards.
+    /// Total table materializations across all shards and replicas.
     pub fn materializations(&self) -> u64 {
-        self.shards.iter().map(System::materializations).sum()
+        self.systems().map(System::materializations).sum()
     }
 
-    /// Total query compilations across all shards.
+    /// Total query compilations across all shards and replicas.
     pub fn compilations(&self) -> u64 {
-        self.shards.iter().map(System::compilations).sum()
+        self.systems().map(System::compilations).sum()
+    }
+
+    /// Every cube in the cluster, shard-major.
+    fn systems(&self) -> impl Iterator<Item = &System> {
+        self.sets.iter().flat_map(|set| set.replicas.iter())
     }
 
     /// Opens a warm cluster session: one materialized cube image per
-    /// shard, plan caches warm across the whole batch.
+    /// replica of every shard, plan caches warm across the whole
+    /// batch.
     pub fn session(&self) -> ClusterSession<'_> {
         ClusterSession {
             cluster: self,
-            sessions: self.shards.iter().map(System::session).collect(),
+            sessions: self
+                .sets
+                .iter()
+                .map(|set| set.replicas.iter().map(System::session).collect())
+                .collect(),
         }
     }
 
@@ -195,7 +311,8 @@ impl Cluster {
 #[derive(Debug)]
 pub struct ClusterSession<'a> {
     cluster: &'a Cluster,
-    sessions: Vec<Session<'a>>,
+    /// Warm sessions, `sessions[shard][replica]`.
+    sessions: Vec<Vec<Session<'a>>>,
 }
 
 impl<'a> ClusterSession<'a> {
@@ -204,18 +321,78 @@ impl<'a> ClusterSession<'a> {
         self.cluster
     }
 
-    /// Mutable access to shard `s`'s warm [`Session`].
+    /// Mutable access to shard `s`'s primary warm [`Session`]
+    /// (replica 0).
     pub fn shard_session(&mut self, s: usize) -> &mut Session<'a> {
-        &mut self.sessions[s]
+        &mut self.sessions[s][0]
     }
 
-    /// Scatters `query` to every shard and gathers the combined
-    /// [`ClusterReport`].
+    /// Mutable access to replica `r` of shard `s`'s warm [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn replica_session(&mut self, s: usize, r: usize) -> &mut Session<'a> {
+        assert!(
+            s < self.sessions.len(),
+            "shard {s} out of range ({} shards)",
+            self.sessions.len()
+        );
+        assert!(
+            r < self.sessions[s].len(),
+            "replica {r} out of range (shard {s} has {} replicas)",
+            self.sessions[s].len()
+        );
+        &mut self.sessions[s][r]
+    }
+
+    /// Scatters `query` to every shard's primary replica and gathers
+    /// the combined [`ClusterReport`] — the unrouted scatter-gather
+    /// path, unchanged by replication.
     pub fn run(&mut self, arch: Arch, query: &Query) -> ClusterReport {
         let shard_reports: Vec<RunReport> = self
             .sessions
             .iter_mut()
-            .map(|session| session.run(arch, query))
+            .map(|replicas| replicas[0].run(arch, query))
+            .collect();
+        combine(self.cluster, arch, query, shard_reports)
+    }
+
+    /// Scatters `query` to exactly **one** replica of each shard —
+    /// `replica_of_shard[s]` names the replica answering for shard `s`
+    /// — and gathers the combined [`ClusterReport`]. Because replicas
+    /// are bit-identical by construction, the result equals
+    /// [`run`](Self::run) for every choice vector (the routing
+    /// equivalence tests assert it across architectures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica_of_shard` is not one entry per shard or
+    /// names a replica out of range.
+    pub fn run_routed(
+        &mut self,
+        arch: Arch,
+        query: &Query,
+        replica_of_shard: &[usize],
+    ) -> ClusterReport {
+        assert_eq!(
+            replica_of_shard.len(),
+            self.sessions.len(),
+            "routing vector must name one replica per shard"
+        );
+        let shard_reports: Vec<RunReport> = self
+            .sessions
+            .iter_mut()
+            .zip(replica_of_shard)
+            .enumerate()
+            .map(|(s, (replicas, &r))| {
+                assert!(
+                    r < replicas.len(),
+                    "replica {r} out of range (shard {s} has {} replicas)",
+                    replicas.len()
+                );
+                replicas[r].run(arch, query)
+            })
             .collect();
         combine(self.cluster, arch, query, shard_reports)
     }
@@ -370,6 +547,75 @@ mod tests {
         let mono = System::new(2048, 5).run(Arch::Hipe, &Query::q6());
         assert_eq!(report.result, mono.result);
         assert_eq!(report.shard_reports[0].partitions.len(), 4);
+    }
+
+    #[test]
+    fn replicas_are_bit_identical_by_construction() {
+        use hipe_db::Column;
+        let c = Cluster::replicated(300, 11, 2, 3);
+        assert_eq!(c.replicas(), 3);
+        for s in 0..2 {
+            let set = c.replica_set(s);
+            assert_eq!(set.rows(), c.shard_rows(s));
+            assert_eq!(set.len(), 3);
+            assert!(!set.is_empty());
+            for r in 1..3 {
+                for col in Column::ALL {
+                    assert_eq!(
+                        set.replica(r).table().column(col),
+                        set.primary().table().column(col),
+                        "shard {s} replica {r} {col}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_single_replica_runs_equal_the_primary_path() {
+        let c = Cluster::replicated(640, 13, 2, 2);
+        let mut session = c.session();
+        let q = Query::q6();
+        let primary = session.run(Arch::Hipe, &q);
+        for picks in [[0, 0], [1, 1], [0, 1], [1, 0]] {
+            let routed = session.run_routed(Arch::Hipe, &q, &picks);
+            assert_eq!(routed.result, primary.result, "picks {picks:?}");
+            assert_eq!(routed.cycles, primary.cycles, "picks {picks:?}");
+        }
+        // Session opened every replica's image once; the sweep above
+        // stayed warm.
+        assert_eq!(c.materializations(), 4);
+    }
+
+    #[test]
+    fn single_replica_config_is_the_old_cluster() {
+        let a = Cluster::new(256, 3, 2);
+        let b = Cluster::with_config(ClusterConfig::replicated(256, 3, 2, 1));
+        assert_eq!(a.replicas(), 1);
+        let ra = a.run(Arch::Hipe, &Query::q6());
+        let rb = b.run(Arch::Hipe, &Query::q6());
+        assert_eq!(ra.result, rb.result);
+        assert_eq!(ra.cycles, rb.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let _ = Cluster::replicated(64, 0, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica 2 out of range")]
+    fn replica_index_out_of_range_panics() {
+        let c = Cluster::replicated(64, 0, 2, 2);
+        let _ = c.replica(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one replica per shard")]
+    fn routing_vector_length_is_checked() {
+        let c = Cluster::replicated(64, 0, 2, 2);
+        let _ = c.session().run_routed(Arch::Hipe, &Query::q6(), &[0]);
     }
 
     #[test]

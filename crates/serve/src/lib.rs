@@ -1,48 +1,59 @@
-//! `hipe-serve`: the sharded multi-cube query service.
+//! `hipe-serve`: the sharded, replicated multi-cube query service.
 //!
 //! The paper evaluates its machines one query at a time on one cube;
 //! this crate is the layer that multiplies a fast single cube into a
 //! *service* — many cubes, many concurrent queries, measured as
-//! throughput and tail latency rather than single-run cycles. Two
+//! throughput and tail latency rather than single-run cycles. Three
 //! cooperating layers:
 //!
-//! # Sharding: [`Cluster`]
+//! # Sharding and replication: [`Cluster`]
 //!
-//! A [`Cluster`] owns N [`System`](hipe::System) shards. The logical
+//! A [`Cluster`] owns N shards, each backed by R bit-identical
+//! [`System`](hipe::System) replicas (a [`ReplicaSet`]). The logical
 //! lineitem table's row space is split into contiguous, near-equal
-//! ranges; each shard generates exactly the monolithic table's rows
-//! for its range (`LineitemTable::generate_range` jumps the RNG
-//! stream to the shard's offset), lays them out in its own cube image
-//! with its own `DsmLayout`, and can itself be partitioned across
-//! vault-group engines (the PR 4 knob). Queries *scatter-gather*:
+//! ranges; every replica of a shard generates exactly the monolithic
+//! table's rows for its range (`LineitemTable::generate_range` jumps
+//! the RNG stream to the shard's offset, and the same seed makes
+//! replicas bit-identical *by construction*), lays them out in its
+//! own cube image with its own `DsmLayout`, and can itself be
+//! partitioned across vault-group engines (the PR 4 knob). Queries
+//! *scatter-gather*, with a [`Router`] picking one replica per shard:
 //!
 //! ```text
-//!            query ──► Cluster ──scatter──► shard 0 (System, cube 0, rows    0..r/N)
-//!                         │      ├────────► shard 1 (System, cube 1, rows  r/N..2r/N)
-//!                         │      └────────► shard N-1 (System, cube N-1, …)
-//!                         ▼
-//!            gather: mask concatenation + partial-sum addition
+//!            query ──► Cluster ──scatter──► shard 0 ─Router─► replica 0 │ replica 1 │ …
+//!                         │      ├────────► shard 1 ─Router─► replica 0 │ replica 1 │ …
+//!                         │      └────────► shard N-1 ───────► …         (rows split
+//!                         ▼                                               per shard,
+//!            gather: mask concatenation + partial-sum addition            copied per
+//!                                                                         replica)
 //! ```
 //!
-//! Each shard session caches compiled plans, so a batch compiles each
-//! distinct `(arch, query)` once per shard. A single-shard cluster is
-//! the plain `System`, bit for bit *and* cycle for cycle; a multi-
-//! shard cluster returns bit-identical functional results on all four
-//! architectures (the integration tests assert both).
+//! Each replica session caches compiled plans, so a batch compiles
+//! each distinct `(arch, query)` once per replica. A single-shard,
+//! single-replica cluster is the plain `System`, bit for bit *and*
+//! cycle for cycle; a sharded, replicated cluster returns
+//! bit-identical functional results on all four architectures
+//! whatever the routing (the integration tests assert both).
 //!
 //! # Service scheduling: [`run_service`]
 //!
 //! [`run_service`] drives an open- or closed-loop query stream
 //! ([`LoadModel`]) through a warm cluster with a discrete-event loop
-//! built from the `hipe-sim` primitives: the front end and each shard
-//! cube are [`Server`](hipe_sim::Server)s, admission is a
+//! built from the `hipe-sim` primitives: the front end and each
+//! replica cube are [`Server`](hipe_sim::Server)s, admission is a
 //! [`Window`](hipe_sim::Window), arrivals and the weighted query mix
 //! draw from `SplitMix64`. Batching amortizes the front-end setup
 //! cost; per-query service times are the deterministic modeled cycles
-//! of actually executing that query on that shard. The
-//! [`ServiceReport`] carries throughput (queries per gigacycle /
-//! queries per second), per-shard utilization, and nearest-rank
-//! p50/p95/p99 latency ([`hipe_sim::Samples`]) in modeled cycles.
+//! of actually executing that query on that replica. The configured
+//! [`RoutingPolicy`] sends each scattered sub-query to exactly one
+//! replica per shard, so R replicas serve ~R× the throughput; a
+//! [`FaultPlan`] kills a replica mid-run fail-stop, and lost
+//! sub-queries are detected and re-dispatched to a survivor with the
+//! service answer provably unchanged. The [`ServiceReport`] carries
+//! throughput (queries per gigacycle / queries per second), per-shard
+//! and per-replica utilization, failover counts, the service-level
+//! answers (plus a digest for CI), and nearest-rank p50/p95/p99
+//! latency ([`hipe_sim::Samples`]) in modeled cycles.
 //!
 //! # Example
 //!
@@ -59,7 +70,13 @@
 //! ```
 
 mod cluster;
+mod fault;
+mod routing;
 mod service;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, ClusterSession, MERGE_CYCLES_PER_SHARD};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterReport, ClusterSession, ReplicaSet, MERGE_CYCLES_PER_SHARD,
+};
+pub use fault::FaultPlan;
+pub use routing::{FastestReplica, LeastOutstanding, RoundRobin, RouteCtx, Router, RoutingPolicy};
 pub use service::{run_service, LatencySummary, LoadModel, ServiceConfig, ServiceReport};

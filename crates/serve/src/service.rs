@@ -1,22 +1,34 @@
 //! The service scheduler: a discrete-event loop driving a query
-//! stream through a warm [`Cluster`].
+//! stream through a warm, replicated [`Cluster`].
 //!
 //! Built from the `hipe-sim` primitives the component models already
-//! use: each shard cube is a [`Server`] (one query resident at a
+//! use: each replica cube is a [`Server`] (one query resident at a
 //! time), the service front end is a `Server` (admission, plan lookup
 //! and scatter dispatch, amortized over a batch), and a [`Window`] caps
 //! the queries in flight. Per-query service times are the *modeled
-//! cycle counts* of actually executing that query on that shard —
-//! each distinct query of the mix is executed once per shard through
-//! the warm sessions (compiling once, thanks to the session plan
-//! cache), and the deterministic measured durations drive the event
-//! loop. Warm ≡ cold and run-order independence are proven by the
-//! `hipe-core` session tests, which is what makes the replay honest.
+//! cycle counts* of actually executing that query on that replica —
+//! each distinct query of the mix is executed once per replica of
+//! every shard through the warm sessions (compiling once, thanks to
+//! the session plan cache), and the deterministic measured durations
+//! drive the event loop. Warm ≡ cold and run-order independence are
+//! proven by the `hipe-core` session tests, which is what makes the
+//! replay honest; the profile pass additionally asserts that every
+//! replica of a shard returns the bit-identical answer, which is what
+//! makes replica routing and failover answer-preserving.
+//!
+//! Each scattered sub-query goes to exactly **one** replica of each
+//! shard, chosen by the configured [`Router`] policy; a
+//! [`FaultPlan`] can kill a replica mid-run, in which case its lost
+//! sub-queries are detected and re-dispatched to a survivor (the
+//! fail-stop model of [`crate::fault`]).
 
 use crate::cluster::{Cluster, ClusterReport};
+use crate::fault::{self, FaultPlan};
+use crate::routing::{RouteCtx, Router, RoutingPolicy};
 use hipe::Arch;
+use hipe_db::scan::ScanResult;
 use hipe_db::{Query, SplitMix64};
-use hipe_sim::{Cycle, Freq, Samples, Server, Window};
+use hipe_sim::{Cycle, Freq, Samples, ServeOutcome, Server, Window};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -74,6 +86,22 @@ pub struct ServiceConfig {
     pub batch_setup: Cycle,
     /// Front-end cycles per query within a batch.
     pub per_query_dispatch: Cycle,
+    /// Replica-selection policy placed in front of the per-shard
+    /// sessions (each run builds a fresh [`Router`] from it).
+    pub routing: RoutingPolicy,
+    /// Fail-stop faults injected into the run (empty = fault-free).
+    /// Validated up front: every shard must keep at least one replica
+    /// that never fails.
+    pub faults: Vec<FaultPlan>,
+    /// Cycles between a replica going dark and the front end
+    /// *detecting* it; sub-queries routed to the dark replica inside
+    /// this blind spot are lost until detection fires.
+    pub fault_detect: Cycle,
+    /// Front-end cycles to re-dispatch one lost sub-query to a
+    /// surviving replica after detection. Pure added latency on the
+    /// failed-over query: re-dispatch rides the control path, not the
+    /// batched data path, so it does not occupy the front-end server.
+    pub redispatch_cost: Cycle,
 }
 
 impl ServiceConfig {
@@ -95,6 +123,10 @@ impl ServiceConfig {
             seed: 0x5EED_5E4E,
             batch_setup: 200,
             per_query_dispatch: 20,
+            routing: RoutingPolicy::default(),
+            faults: Vec::new(),
+            fault_detect: 400,
+            redispatch_cost: 40,
         }
     }
 
@@ -133,18 +165,47 @@ pub struct ServiceReport {
     pub arch: Arch,
     /// Shards in the cluster.
     pub shards: usize,
+    /// Replicas backing each shard.
+    pub replicas: usize,
     /// Queries served.
     pub queries: u64,
     /// Cycle at which the last query completed.
     pub makespan: Cycle,
     /// Arrival-to-completion latency distribution.
     pub latency: LatencySummary,
-    /// Busy cycles per shard cube.
+    /// Busy cycles per shard, summed over its replicas (for a
+    /// single-replica cluster this is the per-cube busy of old).
     pub shard_busy: Vec<Cycle>,
+    /// Busy cycles per replica cube, `replica_busy[shard][replica]`.
+    /// A replica killed by a fault accrues busy only up to its fault
+    /// cycle.
+    pub replica_busy: Vec<Vec<Cycle>>,
     /// Busy cycles of the front end.
     pub frontend_busy: Cycle,
-    /// Cycles arrivals spent blocked on the admission window.
+    /// Cycles queries spent between their own arrival and admission.
+    /// This includes the wait for their batch to fill — an early
+    /// member genuinely waits from *its* arrival, not the batch's last
+    /// one — of which [`batching_delay`](Self::batching_delay) is the
+    /// batch-fill sub-component; `admission_stall - batching_delay`
+    /// is the wait attributable purely to window occupancy.
     pub admission_stall: Cycle,
+    /// Cycles queries spent waiting for their batch to fill (own
+    /// arrival → batch-full), summed over queries. A sub-component of
+    /// [`admission_stall`](Self::admission_stall): together with
+    /// `frontend_busy` and the measured service times it reconstructs
+    /// mean latency at low load (asserted by the accounting tests).
+    pub batching_delay: Cycle,
+    /// Replicas that went dark (fault plans that fired) within the
+    /// measured run.
+    pub failovers: u64,
+    /// Sub-queries lost to a dark replica and re-dispatched to a
+    /// survivor.
+    pub redispatched: u64,
+    /// Combined functional answer of each mix query, in mix order —
+    /// the service-level result, proven bit-identical across replicas
+    /// by the profile pass (and therefore across routings and
+    /// failovers).
+    pub answers: Vec<ScanResult>,
     /// Query compilations this run performed across all shards (the
     /// plan cache keeps it at one per distinct mix query per shard,
     /// however many queries were served).
@@ -166,9 +227,72 @@ impl ServiceReport {
         self.queries as f64 * cpu.as_mhz() as f64 * 1e6 / self.makespan.max(1) as f64
     }
 
-    /// Fraction of the makespan shard `s` spent executing queries.
+    /// Fraction of the makespan shard `s` spent executing queries,
+    /// summed over its replicas (may exceed 1.0 when several replicas
+    /// run concurrently; divide by [`replicas`](Self::replicas) for a
+    /// per-cube average).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a valid shard index.
     pub fn utilization(&self, s: usize) -> f64 {
+        assert!(
+            s < self.shard_busy.len(),
+            "shard {s} out of range ({} shards)",
+            self.shard_busy.len()
+        );
         self.shard_busy[s] as f64 / self.makespan.max(1) as f64
+    }
+
+    /// Fraction of the makespan replica `r` of shard `s` spent
+    /// executing queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn replica_utilization(&self, s: usize, r: usize) -> f64 {
+        assert!(
+            s < self.replica_busy.len(),
+            "shard {s} out of range ({} shards)",
+            self.replica_busy.len()
+        );
+        assert!(
+            r < self.replica_busy[s].len(),
+            "replica {r} out of range (shard {s} has {} replicas)",
+            self.replica_busy[s].len()
+        );
+        self.replica_busy[s][r] as f64 / self.makespan.max(1) as f64
+    }
+
+    /// FNV-1a digest of the service-level answers (mask words, match
+    /// counts, aggregates, in mix order) — a compact fingerprint for
+    /// the bit-identical-failover CI check.
+    pub fn answers_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        for answer in &self.answers {
+            eat(answer.matches as u64);
+            match answer.aggregate {
+                Some(sum) => {
+                    eat(1);
+                    eat(sum as u64);
+                    eat((sum >> 64) as u64);
+                }
+                None => eat(0),
+            }
+            eat(answer.bitmask.len() as u64);
+            for &word in answer.bitmask.words() {
+                eat(word);
+            }
+        }
+        hash
     }
 }
 
@@ -176,10 +300,11 @@ impl std::fmt::Display for ServiceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} x{} shards: {} queries in {} cycles ({} q/Gcyc), \
+            "{} x{} shards x{} replicas: {} queries in {} cycles ({} q/Gcyc), \
              latency p50/p95/p99 {}/{}/{} cycles, util",
             self.arch,
             self.shards,
+            self.replicas,
             self.queries,
             self.makespan,
             self.queries_per_gigacycle(),
@@ -190,6 +315,13 @@ impl std::fmt::Display for ServiceReport {
         for s in 0..self.shards {
             let sep = if s == 0 { ' ' } else { '/' };
             write!(f, "{sep}{:.0}%", 100.0 * self.utilization(s))?;
+        }
+        if self.failovers > 0 {
+            write!(
+                f,
+                ", {} failover(s), {} redispatched",
+                self.failovers, self.redispatched
+            )?;
         }
         Ok(())
     }
@@ -213,41 +345,91 @@ struct Served {
     completion: Cycle,
 }
 
-/// The event-loop state: front end, shard servers, admission window.
+/// One replica cube in the event loop: its server, its (optional)
+/// fail-stop cycle, and the completions of sub-queries still in
+/// flight on it (for the router's outstanding counts).
+#[derive(Debug)]
+struct Replica {
+    server: Server,
+    fail_at: Option<Cycle>,
+    inflight: BinaryHeap<Reverse<Cycle>>,
+}
+
+impl Replica {
+    fn new(fail_at: Option<Cycle>) -> Self {
+        Replica {
+            server: Server::new(),
+            fail_at,
+            inflight: BinaryHeap::new(),
+        }
+    }
+
+    /// Whether the front end believes this replica alive at `now`: a
+    /// dark replica stays routable until detection fires, `detect`
+    /// cycles after the fault.
+    fn believed_alive(&self, now: Cycle, detect: Cycle) -> bool {
+        self.fail_at.is_none_or(|f| now < f + detect)
+    }
+}
+
+/// The event-loop state: front end, replica servers, admission window.
 struct Scheduler<'a> {
     cfg: &'a ServiceConfig,
-    /// Measured cycles of mix query `q` on shard `s`:
-    /// `durations[q][s]`.
-    durations: &'a [Vec<Cycle>],
+    /// Measured cycles of mix query `q` on replica `r` of shard `s`:
+    /// `durations[q][s][r]`.
+    durations: &'a [Vec<Vec<Cycle>>],
     merge_cycles: Cycle,
     frontend: Server,
-    shards: Vec<Server>,
+    replicas: Vec<Vec<Replica>>,
+    router: Box<dyn Router>,
     window: Window,
     batch: Vec<Pending>,
     batch_cap: usize,
     latencies: Samples,
     makespan: Cycle,
+    batching_delay: Cycle,
+    redispatched: u64,
+    /// Scratch arrival buffer for group admission.
+    arrivals: Vec<Cycle>,
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(cfg: &'a ServiceConfig, durations: &'a [Vec<Cycle>], cluster: &Cluster) -> Self {
+    fn new(cfg: &'a ServiceConfig, durations: &'a [Vec<Vec<Cycle>>], cluster: &Cluster) -> Self {
         // A closed loop can never fill a batch beyond its client pool;
         // capping avoids waiting for arrivals that cannot happen.
         let batch_cap = match cfg.load {
             LoadModel::Open { .. } => cfg.batch,
             LoadModel::Closed { clients, .. } => cfg.batch.min(clients),
         };
+        let replicas = (0..cluster.shards())
+            .map(|s| {
+                (0..cluster.replicas())
+                    .map(|r| {
+                        let fault = cfg
+                            .faults
+                            .iter()
+                            .find(|f| f.shard == s && f.replica == r)
+                            .map(|f| f.at_cycle);
+                        Replica::new(fault)
+                    })
+                    .collect()
+            })
+            .collect();
         Scheduler {
             cfg,
             durations,
             merge_cycles: cluster.merge_cycles(),
             frontend: Server::new(),
-            shards: vec![Server::new(); cluster.shards()],
+            replicas,
+            router: cfg.routing.router(),
             window: Window::new(cfg.max_in_flight),
             batch: Vec::with_capacity(batch_cap),
             batch_cap,
             latencies: Samples::new(),
             makespan: 0,
+            batching_delay: 0,
+            redispatched: 0,
+            arrivals: Vec::with_capacity(batch_cap),
         }
     }
 
@@ -276,25 +458,31 @@ impl<'a> Scheduler<'a> {
         // arrived and the window holds a free slot for *every*
         // member — the batch enters flight as one unit, each member
         // consuming its own slot (batch <= max_in_flight is asserted
-        // up front, so the group always fits).
+        // up front, so the group always fits). Every member is
+        // charged admission stall from its *own* arrival; the
+        // batch-fill share of that wait is also tallied separately as
+        // batching delay.
         let arrived = self
             .batch
             .iter()
             .map(|p| p.arrival)
             .max()
             .expect("dispatch requires a non-empty batch");
-        let ready = self.window.admit_batch(arrived, self.batch.len());
+        self.arrivals.clear();
+        for p in &self.batch {
+            self.arrivals.push(p.arrival);
+            self.batching_delay += arrived - p.arrival;
+        }
+        let ready = self.window.admit_group(&self.arrivals);
         let cost = self.cfg.batch_setup + self.cfg.per_query_dispatch * self.batch.len() as Cycle;
         let (_, scattered) = self.frontend.serve(ready, cost);
-        // Scatter each member to every shard; a shard serves one
-        // query at a time, so members queue per shard in batch order.
+        // Scatter each member to exactly one replica of every shard
+        // (the router picks which); a replica serves one sub-query at
+        // a time, so members queue per replica in batch order.
         let mut served = Vec::with_capacity(self.batch.len());
-        for p in self.batch.drain(..) {
-            let slowest = self
-                .shards
-                .iter_mut()
-                .zip(&self.durations[p.query])
-                .map(|(shard, &cycles)| shard.serve(scattered, cycles).1)
+        for p in std::mem::take(&mut self.batch) {
+            let slowest = (0..self.replicas.len())
+                .map(|s| self.route_and_serve(p.query, s, scattered))
                 .max()
                 .expect("clusters have at least one shard");
             let completion = slowest + self.merge_cycles;
@@ -308,21 +496,94 @@ impl<'a> Scheduler<'a> {
         }
         served
     }
+
+    /// Routes one sub-query to a replica of `shard` at dispatch cycle
+    /// `at` and serves it there, failing over to a survivor if the
+    /// chosen replica is (or goes) dark; returns the sub-query's
+    /// completion cycle.
+    fn route_and_serve(&mut self, query: usize, shard: usize, mut at: Cycle) -> Cycle {
+        // Scratch per-replica state for the router's context.
+        let mut alive = Vec::with_capacity(self.replicas[shard].len());
+        let mut next_free = Vec::with_capacity(alive.capacity());
+        let mut outstanding = Vec::with_capacity(alive.capacity());
+        loop {
+            alive.clear();
+            next_free.clear();
+            outstanding.clear();
+            for replica in self.replicas[shard].iter_mut() {
+                while let Some(&Reverse(done)) = replica.inflight.peek() {
+                    if done > at {
+                        break;
+                    }
+                    replica.inflight.pop();
+                }
+                alive.push(replica.believed_alive(at, self.cfg.fault_detect));
+                next_free.push(replica.server.next_free());
+                outstanding.push(replica.inflight.len() as u32);
+            }
+            let ctx = RouteCtx {
+                now: at,
+                query,
+                alive: &alive,
+                next_free: &next_free,
+                outstanding: &outstanding,
+                durations: &self.durations[query][shard],
+            };
+            let r = self.router.pick(shard, &ctx);
+            assert!(
+                alive[r],
+                "router picked replica {r} of shard {shard}, known dead since \
+                 cycle {:?}",
+                self.replicas[shard][r].fail_at
+            );
+            let duration = self.durations[query][shard][r];
+            let replica = &mut self.replicas[shard][r];
+            match replica.fail_at {
+                None => {
+                    let (_, end) = replica.server.serve(at, duration);
+                    replica.inflight.push(Reverse(end));
+                    return end;
+                }
+                Some(fail) => match replica.server.serve_until(at, duration, fail) {
+                    ServeOutcome::Done { end, .. } => {
+                        replica.inflight.push(Reverse(end));
+                        return end;
+                    }
+                    // The replica died with this sub-query queued or
+                    // in service: the front end notices at
+                    // `fail + fault_detect` and re-dispatches to a
+                    // survivor. The retry lands past the detection
+                    // horizon, so the dead replica is no longer a
+                    // candidate and the loop terminates (every shard
+                    // keeps a never-failing replica, validated up
+                    // front).
+                    ServeOutcome::Cut { .. } | ServeOutcome::Refused => {
+                        self.redispatched += 1;
+                        at = fail + self.cfg.fault_detect + self.cfg.redispatch_cost;
+                    }
+                },
+            }
+        }
+    }
 }
 
 /// Runs a query stream through a warm cluster and reports throughput,
 /// utilization and tail latency.
 ///
 /// The service opens one [`ClusterSession`](crate::ClusterSession)
-/// (one materialization per shard), executes each distinct query of
-/// the mix once per shard to obtain its functional answer and its
-/// deterministic per-shard duration, then drives the configured
-/// arrival process through the discrete-event scheduler.
+/// (one materialization per replica cube), executes each distinct
+/// query of the mix once on every replica of every shard to obtain its
+/// functional answer and its deterministic per-replica durations
+/// (asserting all replicas answer bit-identically), then drives the
+/// configured arrival process through the discrete-event scheduler,
+/// routing each scattered sub-query to one replica per shard and
+/// failing over around any injected fault.
 ///
 /// # Panics
 ///
 /// Panics if the config asks for zero queries, an empty or zero-weight
-/// mix, a zero batch, or zero admitted queries in flight.
+/// mix, a zero batch, zero admitted queries in flight, or a fault plan
+/// that is out of range or leaves some shard with no survivor.
 pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     assert!(cfg.queries > 0, "a service run needs at least one query");
     assert!(!cfg.mix.is_empty(), "the query mix is empty");
@@ -337,6 +598,7 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     );
     let total_weight: u64 = cfg.mix.iter().map(|&(_, w)| w as u64).sum();
     assert!(total_weight > 0, "the query mix has zero total weight");
+    fault::validate(&cfg.faults, cluster.shards(), cluster.replicas());
 
     // Counter snapshots, so the report covers this run alone — a
     // long-lived cluster hosts many runs, and its lifetime totals
@@ -344,20 +606,41 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     let compilations_before = cluster.compilations();
     let materializations_before = cluster.materializations();
 
-    // Profile pass: one warm execution of each distinct mix query per
-    // shard. The plan caches make this compile-once; determinism (warm
-    // == cold, order independence) makes replaying the measured
-    // durations in the event loop exact.
+    // Profile pass: one warm execution of each distinct mix query on
+    // *every replica* of every shard. The plan caches make this
+    // compile-once; determinism (warm == cold, order independence)
+    // makes replaying the measured durations in the event loop exact.
+    // Asserting every replica's combined answer bit-identical to
+    // replica 0's is what licenses the router to pick any replica —
+    // and failover to re-pick — without changing the service answer.
     let mut session = cluster.session();
-    let reports: Vec<ClusterReport> = cfg
-        .mix
-        .iter()
-        .map(|(query, _)| session.run(cfg.arch, query))
-        .collect();
-    let durations: Vec<Vec<Cycle>> = reports
-        .iter()
-        .map(|r| r.shard_reports.iter().map(|s| s.cycles).collect())
-        .collect();
+    let mut durations: Vec<Vec<Vec<Cycle>>> = Vec::with_capacity(cfg.mix.len());
+    let mut answers: Vec<ScanResult> = Vec::with_capacity(cfg.mix.len());
+    for (q, (query, _)) in cfg.mix.iter().enumerate() {
+        // durations[q][s][r], built replica-major then transposed.
+        let mut per_shard: Vec<Vec<Cycle>> = vec![Vec::new(); cluster.shards()];
+        let mut reference: Option<ClusterReport> = None;
+        for r in 0..cluster.replicas() {
+            let route = vec![r; cluster.shards()];
+            let report = session.run_routed(cfg.arch, query, &route);
+            for (s, shard_report) in report.shard_reports.iter().enumerate() {
+                per_shard[s].push(shard_report.cycles);
+            }
+            match &reference {
+                None => reference = Some(report),
+                Some(reference) => assert_eq!(
+                    report.result, reference.result,
+                    "replica {r} disagrees with replica 0 on mix query {q}"
+                ),
+            }
+        }
+        durations.push(per_shard);
+        answers.push(
+            reference
+                .expect("clusters have at least one replica")
+                .result,
+        );
+    }
 
     let mut rng = SplitMix64::new(cfg.seed);
     let mut draw_query = move || {
@@ -418,15 +701,30 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
             max: lat.max().expect("at least one query served"),
         }
     };
+    let replica_busy: Vec<Vec<Cycle>> = sched
+        .replicas
+        .iter()
+        .map(|shard| shard.iter().map(|r| r.server.busy_cycles()).collect())
+        .collect();
     ServiceReport {
         arch: cfg.arch,
         shards: cluster.shards(),
+        replicas: cluster.replicas(),
         queries: sched.latencies.count(),
         makespan: sched.makespan,
         latency,
-        shard_busy: sched.shards.iter().map(Server::busy_cycles).collect(),
+        shard_busy: replica_busy.iter().map(|s| s.iter().sum()).collect(),
+        replica_busy,
         frontend_busy: sched.frontend.busy_cycles(),
         admission_stall: sched.window.stall_cycles(),
+        batching_delay: sched.batching_delay,
+        failovers: cfg
+            .faults
+            .iter()
+            .filter(|f| f.at_cycle < sched.makespan)
+            .count() as u64,
+        redispatched: sched.redispatched,
+        answers,
         compilations: cluster.compilations() - compilations_before,
         materializations: cluster.materializations() - materializations_before,
     }

@@ -166,7 +166,10 @@ fn default_open_config_survives_window_saturation() {
     let cluster = Cluster::new(512, SEED, 2);
     let report = run_service(&cluster, &ServiceConfig::open(Arch::Hipe, 300, mix(), 1));
     assert_eq!(report.queries, 300);
-    assert!(report.admission_stall > 0, "300 back-to-back queries must outrun a 64-deep window");
+    assert!(
+        report.admission_stall > 0,
+        "300 back-to-back queries must outrun a 64-deep window"
+    );
 }
 
 #[test]
@@ -204,6 +207,77 @@ fn closed_loop_keeps_inflight_at_clients() {
     let busiest = *report.shard_busy.iter().max().unwrap();
     assert!(report.makespan >= busiest);
     assert_eq!(report.admission_stall, 0);
+}
+
+#[test]
+fn admission_stall_counts_from_each_members_own_arrival() {
+    // Regression: `admit_batch` charged every member from the batch's
+    // *latest* arrival, so with a roomy window a staggered batch
+    // reported zero stall even though early members demonstrably
+    // waited for the batch to fill. Closed-loop clients start at
+    // staggered cycles 0..k, so every first batch is staggered.
+    let cluster = Cluster::new(512, SEED, 2);
+    let roomy = run_service(
+        &cluster,
+        &ServiceConfig {
+            batch: 4,
+            max_in_flight: 64,
+            ..closed(32, 4)
+        },
+    );
+    assert!(
+        roomy.batching_delay > 0,
+        "staggered arrivals must accrue batch-fill wait"
+    );
+    // With the window never binding, *all* admission stall is the
+    // batch-fill wait — the decomposition is exact.
+    assert_eq!(roomy.admission_stall, roomy.batching_delay);
+    // A window as narrow as the batch adds genuine window pressure on
+    // top of (never instead of) the batch-fill wait.
+    let tight = run_service(
+        &cluster,
+        &ServiceConfig {
+            batch: 4,
+            max_in_flight: 4,
+            ..ServiceConfig::open(Arch::Hipe, 72, mix(), 1)
+        },
+    );
+    assert!(
+        tight.admission_stall >= tight.batching_delay,
+        "own-arrival stall ({}) can never undercut its batching component ({})",
+        tight.admission_stall,
+        tight.batching_delay
+    );
+}
+
+#[test]
+fn batching_delay_and_busy_components_reconstruct_total_latency() {
+    // Single shard (no merge), single-query mix (uniform duration d),
+    // k clients = batch k, roomy window: each round's batch fills at
+    // its last arrival, pays the front-end cost c once, then serves
+    // its members serially on the one cube. Summing member latencies
+    // over every round gives exactly
+    //
+    //   sum(latency) = batching_delay + k * frontend_busy
+    //                + (k + 1) / 2 * shard_busy
+    //
+    // so the report's components reconstruct its own mean latency.
+    let cluster = Cluster::new(256, SEED, 1);
+    let k = 4u64;
+    let cfg = ServiceConfig {
+        batch: k as usize,
+        max_in_flight: 64,
+        ..ServiceConfig::closed(Arch::Hipe, 32, vec![(Query::q6(), 1)], k as usize)
+    };
+    let report = run_service(&cluster, &cfg);
+    assert_eq!(report.queries, 32);
+    assert_eq!(report.admission_stall, report.batching_delay);
+    let total_latency = (report.latency.mean * report.queries as f64).round() as u64;
+    assert_eq!(
+        2 * total_latency,
+        2 * report.batching_delay + 2 * k * report.frontend_busy + (k + 1) * report.shard_busy[0],
+        "latency does not decompose into batching + front-end + cube service"
+    );
 }
 
 #[test]

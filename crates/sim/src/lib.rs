@@ -51,7 +51,7 @@ mod window;
 
 pub use fifo_window::FifoWindow;
 pub use pipe::ThroughputPipe;
-pub use server::{MultiServer, Server};
+pub use server::{MultiServer, ServeOutcome, Server};
 pub use stats::{Counter, Histogram, RunningStats, Samples};
 pub use time::{time_ns, ClockDomain, Cycle, Freq};
 pub use window::Window;

@@ -9,9 +9,16 @@ use crate::time::Cycle;
 /// divider unit. It keeps only the cycle at which it next becomes
 /// free, so it is O(1) per request.
 ///
-/// Requests must be offered in non-decreasing arrival order for the
-/// schedule to be meaningful (all users in this workspace generate
-/// requests in program order).
+/// Requests *should* be offered in non-decreasing arrival order for
+/// the schedule to be work-conserving (all users in this workspace
+/// generate requests in program order). A *regressed* arrival — one
+/// earlier than a previously offered request — is nonetheless
+/// well-defined: the server clamps the start to its `next_free`, so
+/// the late-offered request simply queues behind everything already
+/// scheduled (FIFO-at-clamp). It can never un-reserve cycles already
+/// granted, so the schedule stays valid; the only effect is that the
+/// regressed request may wait longer than a globally sorted offer
+/// order would have made it wait.
 ///
 /// # Example
 ///
@@ -48,6 +55,43 @@ impl Server {
         (start, end)
     }
 
+    /// Like [`serve`](Self::serve) but the server stops dead at
+    /// `cutoff` (a fail-stop fault): service that would run past the
+    /// cutoff is cancelled so the caller can requeue it elsewhere.
+    ///
+    /// Three outcomes:
+    ///
+    /// * the request finishes at or before the cutoff —
+    ///   [`Done`](ServeOutcome::Done), identical to
+    ///   [`serve`](Self::serve);
+    /// * service starts but the server dies mid-request —
+    ///   [`Cut`](ServeOutcome::Cut): busy cycles are charged only up
+    ///   to the cutoff and the request does *not* count as served;
+    /// * the request would start at or after the cutoff —
+    ///   [`Refused`](ServeOutcome::Refused): nothing is charged.
+    ///
+    /// In the `Cut` and `Refused` cases `next_free` is clamped to
+    /// `cutoff`: a fail-stopped server never serves again, and the
+    /// clamp keeps later (erroneous) offers from reserving cycles on
+    /// it.
+    pub fn serve_until(&mut self, arrival: Cycle, duration: Cycle, cutoff: Cycle) -> ServeOutcome {
+        let start = arrival.max(self.next_free);
+        if start >= cutoff {
+            self.next_free = self.next_free.max(cutoff);
+            return ServeOutcome::Refused;
+        }
+        let end = start + duration;
+        if end > cutoff {
+            self.busy += cutoff - start;
+            self.next_free = cutoff;
+            return ServeOutcome::Cut { start };
+        }
+        self.next_free = end;
+        self.busy += duration;
+        self.served += 1;
+        ServeOutcome::Done { start, end }
+    }
+
     /// Like [`serve`](Self::serve) but the resource is released after
     /// `occupancy` cycles while the request completes after `duration`
     /// cycles (`occupancy <= duration`). Used for pipelined resources
@@ -80,6 +124,28 @@ impl Server {
     pub fn served(&self) -> u64 {
         self.served
     }
+}
+
+/// Outcome of [`Server::serve_until`]: what a fail-stopping server
+/// managed to do with a request before its cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The request completed at or before the cutoff.
+    Done {
+        /// Cycle service began.
+        start: Cycle,
+        /// Completion cycle.
+        end: Cycle,
+    },
+    /// Service began but the server stopped at the cutoff with the
+    /// request unfinished; the caller must requeue it elsewhere.
+    Cut {
+        /// Cycle the doomed service attempt began.
+        start: Cycle,
+    },
+    /// The request would have started at or after the cutoff; the
+    /// server never touched it.
+    Refused,
 }
 
 /// A pool of `k` identical exclusive resources.
@@ -180,6 +246,59 @@ mod tests {
         assert_eq!((start, end), (500, 510));
         assert_eq!(s.busy_cycles(), 30);
         assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn regressed_arrivals_clamp_to_next_free() {
+        // Pin of the documented arrival-order contract: a request
+        // offered with an arrival *earlier* than a previous one is
+        // clamped to next_free and queues FIFO behind what is already
+        // scheduled — no panic, no un-reserving of granted cycles.
+        let mut s = Server::new();
+        assert_eq!(s.serve(100, 40), (100, 140));
+        // Regressed arrival (20 < 100): starts when the server frees.
+        assert_eq!(s.serve(20, 40), (140, 180));
+        // Busy accounting is unaffected by the regression.
+        assert_eq!(s.busy_cycles(), 80);
+        assert_eq!(s.served(), 2);
+    }
+
+    #[test]
+    fn serve_until_completes_before_the_cutoff() {
+        let mut a = Server::new();
+        let mut b = Server::new();
+        let (start, end) = a.serve(10, 30);
+        assert_eq!(
+            b.serve_until(10, 30, 1000),
+            ServeOutcome::Done { start, end }
+        );
+        assert_eq!(a.busy_cycles(), b.busy_cycles());
+        assert_eq!(a.served(), b.served());
+        assert_eq!(a.next_free(), b.next_free());
+    }
+
+    #[test]
+    fn serve_until_cuts_mid_service() {
+        let mut s = Server::new();
+        // Dies at 100 with 30 cycles of a 50-cycle request done.
+        assert_eq!(s.serve_until(70, 50, 100), ServeOutcome::Cut { start: 70 });
+        assert_eq!(s.busy_cycles(), 30, "busy charged only to the cutoff");
+        assert_eq!(s.served(), 0, "a cut request was not served");
+        assert_eq!(s.next_free(), 100, "a dead server never frees");
+    }
+
+    #[test]
+    fn serve_until_refuses_after_the_cutoff() {
+        let mut s = Server::new();
+        assert_eq!(s.serve_until(100, 10, 100), ServeOutcome::Refused);
+        assert_eq!(s.serve_until(250, 10, 100), ServeOutcome::Refused);
+        assert_eq!(s.busy_cycles(), 0);
+        assert_eq!(s.next_free(), 100, "refusal clamps next_free to the cutoff");
+        // Queued work that would only *start* past the cutoff is
+        // refused even when offered before it.
+        let mut q = Server::new();
+        let _ = q.serve(0, 80);
+        assert_eq!(q.serve_until(0, 50, 60), ServeOutcome::Refused);
     }
 
     #[test]

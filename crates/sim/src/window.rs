@@ -103,12 +103,58 @@ impl Window {
             self.capacity
         );
         self.admitted += count as u64;
+        let admitted = self.reserve(arrival, count);
+        self.stall += (admitted - arrival) * count as Cycle;
+        admitted
+    }
+
+    /// Requests admission for a group of operations with *individual*
+    /// arrival cycles that enter together (a batch assembled from
+    /// staggered arrivals); returns the earliest cycle the whole group
+    /// can enter: no earlier than the latest member's arrival, and no
+    /// earlier than `arrivals.len()` slots are free. Must be followed
+    /// by exactly `arrivals.len()` [`complete`](Self::complete) calls.
+    ///
+    /// Unlike [`admit_batch`](Self::admit_batch) — whose members share
+    /// one arrival — stall cycles accrue *per member from its own
+    /// arrival*: member `i` is charged `admitted - arrivals[i]`. An
+    /// early member waiting for late group-mates is genuinely waiting
+    /// for admission, and that wait is part of the window's stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is empty or longer than the capacity.
+    pub fn admit_group(&mut self, arrivals: &[Cycle]) -> Cycle {
+        assert!(
+            !arrivals.is_empty(),
+            "an admission group needs at least one operation"
+        );
+        assert!(
+            arrivals.len() <= self.capacity,
+            "group ({}) exceeds window capacity ({})",
+            arrivals.len(),
+            self.capacity
+        );
+        self.admitted += arrivals.len() as u64;
+        let latest = *arrivals.iter().max().expect("group is non-empty");
+        let admitted = self.reserve(latest, arrivals.len());
+        for &arrival in arrivals {
+            self.stall += admitted - arrival;
+        }
+        admitted
+    }
+
+    /// Waits for (and evicts) the oldest completions until `count`
+    /// slots are free; returns the group's admission cycle.
+    fn reserve(&mut self, arrival: Cycle, count: usize) -> Cycle {
         let mut admitted = arrival;
         while self.inflight.len() + count > self.capacity {
-            let Reverse(oldest) = self.inflight.pop().expect("an over-full window is non-empty");
+            let Reverse(oldest) = self
+                .inflight
+                .pop()
+                .expect("an over-full window is non-empty");
             admitted = admitted.max(oldest);
         }
-        self.stall += (admitted - arrival) * count as Cycle;
         admitted
     }
 
@@ -211,6 +257,58 @@ mod tests {
         }
         assert!(w.len() <= w.capacity());
         assert_eq!(w.admitted(), 7);
+    }
+
+    #[test]
+    fn group_admission_charges_each_member_from_its_own_arrival() {
+        // Regression (per-member admission-stall accounting): a group
+        // assembled from staggered arrivals must charge each member
+        // from *its own* arrival, not from the group's latest one.
+        let mut w = Window::new(8);
+        let arrivals = [10, 40, 25, 40];
+        let admitted = w.admit_group(&arrivals);
+        // Window idle: the group enters when its last member arrives.
+        assert_eq!(admitted, 40);
+        // Members at 10 and 25 waited 30 and 15 cycles; the uniform
+        // admit_batch(40, 4) accounting would have reported zero.
+        assert_eq!(w.stall_cycles(), 30 + 15);
+        assert_eq!(w.admitted(), 4);
+        for done in [50, 60, 70, 80] {
+            w.complete(done);
+        }
+        // A full window adds the slot wait on top, still per member.
+        let mut full = Window::new(2);
+        let _ = full.admit_until(0, 100);
+        let _ = full.admit_until(0, 200);
+        assert_eq!(full.admit_group(&[5, 30]), 200);
+        assert_eq!(full.stall_cycles(), (200 - 5) + (200 - 30));
+    }
+
+    #[test]
+    fn group_of_equal_arrivals_matches_admit_batch() {
+        let mut a = Window::new(3);
+        let mut b = Window::new(3);
+        for done in [40, 10, 90] {
+            let _ = a.admit(0);
+            a.complete(done);
+            let _ = b.admit(0);
+            b.complete(done);
+        }
+        assert_eq!(a.admit_batch(5, 2), b.admit_group(&[5, 5]));
+        assert_eq!(a.stall_cycles(), b.stall_cycles());
+        assert_eq!(a.admitted(), b.admitted());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window capacity")]
+    fn group_wider_than_capacity_panics() {
+        let _ = Window::new(2).admit_group(&[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_group_panics() {
+        let _ = Window::new(2).admit_group(&[]);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! End-to-end acceptance tests of replication, routing and failover.
+//!
+//! The PR-level contract: whichever replica a router picks for each
+//! shard, a replicated `Cluster` returns bit-identical query results
+//! to the full scatter-gather path *and* to a single monolithic
+//! `System` on all four architectures — and a replica killed at any
+//! point of a service run leaves the service answer bit-identical to
+//! the fault-free run.
+
+use hipe::{Arch, System};
+use hipe_db::Query;
+use hipe_serve::{run_service, Cluster, FaultPlan, ServiceConfig};
+
+const SEED: u64 = 2024;
+
+#[test]
+fn routed_queries_match_scatter_gather_and_the_monolith() {
+    // 1000 rows over 3 shards exercises the uneven split (334/333/333)
+    // and puts rows exactly on shard edges; the permille sweep covers
+    // empty, sparse, dense and all-rows selectivities.
+    const ROWS: usize = 1000;
+    let mono = System::new(ROWS, SEED);
+    let mut mono_session = mono.session();
+    let cluster = Cluster::replicated(ROWS, SEED, 3, 2);
+    let mut session = cluster.session();
+    let routes: [[usize; 3]; 4] = [[0, 0, 0], [1, 1, 1], [0, 1, 0], [1, 0, 1]];
+    let mut queries = vec![Query::q6()];
+    for pm in [0, 100, 500, 1000] {
+        queries.push(Query::quantity_below_permille(pm));
+        queries.push(Query::quantity_below_permille(pm).with_aggregate());
+    }
+    for query in &queries {
+        for arch in Arch::ALL {
+            let m = mono_session.run(arch, query);
+            let full = session.run(arch, query);
+            assert_eq!(full.result, m.result, "{arch}, [{query}]: scatter-gather");
+            for route in &routes {
+                let routed = session.run_routed(arch, query, route);
+                assert_eq!(
+                    routed.result, m.result,
+                    "{arch}, [{query}], route {route:?}"
+                );
+            }
+        }
+    }
+    // The whole sweep warmed one session: a materialization per
+    // replica cube (3 shards x 2 replicas), none per query.
+    assert_eq!(cluster.materializations(), 6);
+}
+
+#[test]
+fn killing_a_replica_at_any_point_of_the_run_is_answer_invariant() {
+    let cluster = Cluster::replicated(512, SEED, 2, 2);
+    let mix = vec![
+        (Query::q6(), 2),
+        (Query::quantity_below_permille(100), 3),
+        (Query::quantity_below_permille(500).with_aggregate(), 1),
+    ];
+    let cfg = ServiceConfig::closed(Arch::Hipe, 24, mix, 4);
+    let clean = run_service(&cluster, &cfg);
+    assert_eq!(clean.failovers, 0);
+    let digest = clean.answers_digest();
+    for shard in 0..2 {
+        for replica in 0..2 {
+            for tenth in 1..10u64 {
+                let at_cycle = clean.makespan * tenth / 10;
+                let failed = run_service(
+                    &cluster,
+                    &ServiceConfig {
+                        faults: vec![FaultPlan::new(shard, replica, at_cycle)],
+                        ..cfg.clone()
+                    },
+                );
+                let ctx = format!("shard {shard} replica {replica} killed at {at_cycle}");
+                assert_eq!(failed.queries, clean.queries, "{ctx}: queries served");
+                assert_eq!(failed.failovers, 1, "{ctx}: failover count");
+                assert_eq!(failed.answers, clean.answers, "{ctx}: answers");
+                assert_eq!(failed.answers_digest(), digest, "{ctx}: digest");
+                assert!(
+                    failed.replica_busy[shard][replica] <= at_cycle,
+                    "{ctx}: the dead replica kept serving"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn failover_is_answer_invariant_on_all_architectures() {
+    let cluster = Cluster::replicated(512, SEED, 2, 2);
+    let mix = vec![(Query::q6(), 1), (Query::quantity_below_permille(250), 1)];
+    for arch in Arch::ALL {
+        let cfg = ServiceConfig::closed(arch, 16, mix.clone(), 4);
+        let clean = run_service(&cluster, &cfg);
+        let failed = run_service(
+            &cluster,
+            &ServiceConfig {
+                faults: vec![FaultPlan::new(1, 0, clean.makespan / 2)],
+                ..cfg
+            },
+        );
+        assert_eq!(failed.queries, clean.queries, "{arch}");
+        assert_eq!(failed.failovers, 1, "{arch}");
+        assert_eq!(failed.answers, clean.answers, "{arch}");
+        assert_eq!(failed.answers_digest(), clean.answers_digest(), "{arch}");
+    }
+}
