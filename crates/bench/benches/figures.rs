@@ -28,6 +28,17 @@
 //! fail-stop at half the clean makespan — on every architecture the
 //! failover run's answer digest must equal the fault-free run's.
 //!
+//! A fourth sweep (`skip_1%` / `skip_3%` / `skip_10%`) runs a
+//! shipdate window at that selectivity against a shipdate-clustered
+//! table twice — with zone-map pruning on and off — on all four
+//! machines, recording both runs' cycle and phase counts in one row
+//! (`base_*` fields are the unpruned run). A `serve_skip` row drives
+//! the same window through a 4-shard cluster whose scatter path
+//! consults the shard rollups, reporting how many shards were never
+//! scattered to. `check_figures` requires pruned cycles to never
+//! exceed the unpruned baseline and the ≤ 3 % rows to cut scan and
+//! dispatch completion by at least 1.5x.
+//!
 //! Besides the human-readable table, all sweeps are written to
 //! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
 //! the performance trajectory of the simulator is machine-checkable
@@ -39,9 +50,9 @@
 //! Run with `cargo bench -p hipe-bench --bench figures`; scale the
 //! table with `HIPE_BENCH_ROWS`.
 
-use hipe::{Arch, RunReport, System};
+use hipe::{Arch, RunReport, System, SystemConfig, TableShape};
 use hipe_db::Query;
-use hipe_serve::{run_service, Cluster, FaultPlan, ServiceConfig, ServiceReport};
+use hipe_serve::{run_service, Cluster, ClusterConfig, FaultPlan, ServiceConfig, ServiceReport};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -304,6 +315,107 @@ fn main() {
         wall.as_secs_f64() * 1e3,
     ));
 
+    // Zone-map skip sweep: the same shipdate window runs pruned and
+    // unpruned against one shipdate-clustered table per mode, on all
+    // four machines. Pruning must never change the answer (asserted
+    // here) and never add cycles; at low selectivity it must cut the
+    // scan and dispatch phases — check_figures enforces both over the
+    // written JSON.
+    println!("# zone-map skip sweep (clustered shipdate, pruned vs unpruned)");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>8} {:>10} {:>10} {:>12}",
+        "point", "sel%", "hipe_cyc", "base_cyc", "scan_x", "scanned", "pruned", "sim_wall_ms"
+    );
+    let clustered = |pruning: bool| {
+        let mut cfg = SystemConfig::paper(rows, SEED);
+        cfg.shape = TableShape::ClusteredShipdate { total_rows: rows };
+        cfg.pruning = pruning;
+        System::with_config(cfg)
+    };
+    let pruned_sys = clustered(true);
+    let full_sys = clustered(false);
+    let mut pruned_session = pruned_sys.session();
+    let mut full_session = full_sys.session();
+    for pm in [10, 30, 100] {
+        let name = format!("skip_{:.0}%", pm as f64 / 10.0);
+        let query = Query::shipdate_window_permille(pm);
+        let start = Instant::now();
+        let pruned_reports: Vec<RunReport> = Arch::ALL
+            .iter()
+            .map(|&arch| pruned_session.run(arch, &query))
+            .collect();
+        let full_reports: Vec<RunReport> = Arch::ALL
+            .iter()
+            .map(|&arch| full_session.run(arch, &query))
+            .collect();
+        let wall = start.elapsed();
+        for (p, u) in pruned_reports.iter().zip(&full_reports) {
+            assert_eq!(
+                p.result, u.result,
+                "pruning changed the answer on {name} ({})",
+                p.arch
+            );
+        }
+        let (hipe, base) = (&pruned_reports[3], &full_reports[3]);
+        println!(
+            "{:<12} {:>6.2} {:>12} {:>12} {:>7.2}x {:>10} {:>10} {:>12.1}",
+            name,
+            100.0 * hipe.selectivity(),
+            hipe.cycles,
+            base.cycles,
+            base.phases.scan as f64 / hipe.phases.scan.max(1) as f64,
+            hipe.regions_scanned,
+            hipe.regions_pruned,
+            wall.as_secs_f64() * 1e3,
+        );
+        json_points.push(skip_json_point(
+            &name,
+            &query,
+            &pruned_reports,
+            &full_reports,
+            wall.as_secs_f64() * 1e3,
+        ));
+    }
+    assert_eq!(pruned_sys.materializations(), 1, "the skip sweep re-materialized");
+
+    // Serve skip row: the 3 % window fits inside one shard of the
+    // 4-way clustered split, so the scatter path consults the shard
+    // rollups and never dispatches to the others. The unpruned
+    // clustered cluster answers identically — the skipping run just
+    // stops scattering.
+    let skipping_cluster = Cluster::with_config(ClusterConfig::skipping(rows, SEED, 4));
+    let full_cluster = Cluster::with_config(ClusterConfig {
+        clustered: true,
+        ..ClusterConfig::new(rows, SEED, 4)
+    });
+    let query = Query::shipdate_window_permille(30);
+    let start = Instant::now();
+    let skip_report = skipping_cluster.run(Arch::Hipe, &query);
+    let full_report = full_cluster.run(Arch::Hipe, &query);
+    let wall = start.elapsed();
+    assert_eq!(
+        skip_report.result, full_report.result,
+        "shard skipping changed the cluster answer"
+    );
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>10} {:>12.1}",
+        "serve_skip",
+        4,
+        skip_report.cycles,
+        full_report.cycles,
+        skip_report.shards_skipped(),
+        wall.as_secs_f64() * 1e3,
+    );
+    json_points.push(format!(
+        "    {{\n      \"name\": \"serve_skip\",\n      \"shards\": 4,\n      \
+         \"shards_skipped\": {},\n      \"cycles\": {},\n      \"base_cycles\": {},\n      \
+         \"sim_wall_ms\": {:.3}\n    }}",
+        skip_report.shards_skipped(),
+        skip_report.cycles,
+        full_report.cycles,
+        wall.as_secs_f64() * 1e3,
+    ));
+
     // Default next to the workspace root regardless of the bench CWD.
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json").into()
@@ -346,6 +458,49 @@ fn json_point(name: &str, query: &Query, reports: &[RunReport], wall_ms: f64) ->
             r.energy.link_pj(),
             r.energy.logic_pj(),
             r.energy.total_pj(),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("\n      }\n    }");
+    out
+}
+
+/// Renders one zone-map skip point: per-arch objects carrying the
+/// pruned run's cycles, phase ends and region counters alongside the
+/// unpruned baseline's as `base_*` fields, so `check_figures` can
+/// compare the two runs of the same query without a second row.
+fn skip_json_point(
+    name: &str,
+    query: &Query,
+    pruned: &[RunReport],
+    full: &[RunReport],
+    wall_ms: f64,
+) -> String {
+    let mut out = String::new();
+    let sel = pruned[0].selectivity();
+    write!(
+        out,
+        "    {{\n      \"name\": \"{name}\",\n      \"query\": \"{query}\",\n      \
+         \"selectivity\": {sel:.6},\n      \"sim_wall_ms\": {wall_ms:.3},\n      \"archs\": {{"
+    )
+    .expect("writing to a String cannot fail");
+    for (i, (p, u)) in pruned.iter().zip(full).enumerate() {
+        let sep = if i + 1 < pruned.len() { "," } else { "" };
+        write!(
+            out,
+            "\n        \"{}\": {{\"cycles\": {}, \"dispatch_end\": {}, \"scan_end\": {}, \
+             \"gather_cycles\": {}, \"regions_scanned\": {}, \"regions_pruned\": {}, \
+             \"base_cycles\": {}, \"base_dispatch_end\": {}, \"base_scan_end\": {}}}{sep}",
+            p.arch,
+            p.cycles,
+            p.phases.dispatch,
+            p.phases.scan,
+            p.phases.gather_aggregate,
+            p.regions_scanned,
+            p.regions_pruned,
+            u.cycles,
+            u.phases.dispatch,
+            u.phases.scan,
         )
         .expect("writing to a String cannot fail");
     }

@@ -25,6 +25,16 @@
 //! answer digests equal to its fault-free counterparts — the
 //! machine-checked form of "failover is bit-identical".
 //!
+//! The zone-map skip sweep (`skip_1%` / `skip_3%` / `skip_10%`) pairs
+//! a pruned and an unpruned run of the same clustered-shipdate window
+//! in one row (`base_*` fields are the unpruned baseline). Every
+//! machine must have pruned something (`regions_pruned` ≥ 1) and must
+//! not be slower pruned than unpruned; the ≤ 3 % selectivity rows
+//! must additionally cut both the scan and the dispatch completion
+//! cycle by at least 1.5x. The `serve_skip` row must report at least
+//! one shard never scattered to, at no cycle cost over the full
+//! scatter — a data-skipping regression fails CI.
+//!
 //! Usage: run the `figures` bench first, then
 //! `cargo run -p hipe-bench --bin check_figures`. The file location
 //! follows the bench's convention: `HIPE_BENCH_JSON` if set, else
@@ -54,6 +64,13 @@ const PARTITION_POINTS: [&str; 4] = ["par_1", "par_2", "par_4", "par_8"];
 /// (throughput must not decrease along this list; the last point
 /// doubles the shards of `serve_4` into replicas).
 const SERVE_POINTS: [&str; 4] = ["serve_1", "serve_2", "serve_4", "serve_4x2"];
+
+/// Point names of the zone-map skip sweep, in selectivity order.
+const SKIP_POINTS: [&str; 3] = ["skip_1%", "skip_3%", "skip_10%"];
+
+/// Skip points at ≤ 3 % selectivity: these owe a ≥ 1.5x reduction in
+/// both scan and dispatch completion cycles on every machine.
+const SKIP_TIGHT_POINTS: [&str; 2] = ["skip_1%", "skip_3%"];
 
 fn main() -> ExitCode {
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
@@ -269,6 +286,73 @@ fn check(text: &str) -> Result<usize, String> {
             ));
         }
     }
+
+    // Zone-map skip sweep: each point carries a pruned run next to its
+    // unpruned baseline. Pruning must have fired on every machine, must
+    // never cost cycles, and at <= 3 % selectivity must cut both scan
+    // and dispatch completion by at least 1.5x (integer-only:
+    // base * 10 >= pruned * 15).
+    for wanted in SKIP_POINTS {
+        let (_, block) = blocks
+            .iter()
+            .find(|(name, _)| name == wanted)
+            .ok_or_else(|| format!("zone-map skip point {wanted} missing"))?;
+        let tight = SKIP_TIGHT_POINTS.contains(&wanted);
+        for arch in ARCHS {
+            let cycles = arch_field(block, arch, "cycles")
+                .ok_or_else(|| format!("point {wanted}: arch {arch} lacks cycles"))?;
+            let base_cycles = arch_field(block, arch, "base_cycles")
+                .ok_or_else(|| format!("point {wanted}: arch {arch} lacks base_cycles"))?;
+            if cycles > base_cycles {
+                return Err(format!(
+                    "point {wanted}: {arch} pruned run slower than unpruned \
+                     ({base_cycles} -> {cycles} cycles)"
+                ));
+            }
+            let pruned = arch_field(block, arch, "regions_pruned")
+                .ok_or_else(|| format!("point {wanted}: arch {arch} lacks regions_pruned"))?;
+            if pruned == 0 {
+                return Err(format!("point {wanted}: {arch} pruned no regions"));
+            }
+            if tight {
+                let scan = arch_field(block, arch, "scan_end")
+                    .ok_or_else(|| format!("point {wanted}: arch {arch} lacks scan_end"))?;
+                let base_scan = arch_field(block, arch, "base_scan_end")
+                    .ok_or_else(|| format!("point {wanted}: arch {arch} lacks base_scan_end"))?;
+                let dispatch = arch_field(block, arch, "dispatch_end")
+                    .ok_or_else(|| format!("point {wanted}: arch {arch} lacks dispatch_end"))?;
+                let base_dispatch = arch_field(block, arch, "base_dispatch_end")
+                    .ok_or_else(|| format!("point {wanted}: arch {arch} lacks base_dispatch_end"))?;
+                if base_scan * 10 < scan * 15 || base_dispatch * 10 < dispatch * 15 {
+                    return Err(format!(
+                        "point {wanted}: {arch} skip win below 1.5x \
+                         (scan {base_scan} -> {scan}, dispatch {base_dispatch} -> {dispatch})"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Serve skip row: the scatter path must really have skipped shards,
+    // at no cycle cost over the full scatter.
+    let (_, skip) = blocks
+        .iter()
+        .find(|(name, _)| name == "serve_skip")
+        .ok_or("shard-skipping point serve_skip missing")?;
+    let skipped = point_field(skip, "shards_skipped")
+        .ok_or("point serve_skip lacks shards_skipped")?;
+    if skipped == 0 {
+        return Err("point serve_skip: the scatter path skipped no shards".into());
+    }
+    let cycles = point_field(skip, "cycles").ok_or("point serve_skip lacks cycles")?;
+    let base_cycles =
+        point_field(skip, "base_cycles").ok_or("point serve_skip lacks base_cycles")?;
+    if cycles > base_cycles {
+        return Err(format!(
+            "point serve_skip: shard skipping slower than the full scatter \
+             ({base_cycles} -> {cycles} cycles)"
+        ));
+    }
     Ok(blocks.len())
 }
 
@@ -374,6 +458,33 @@ mod tests {
         )
     }
 
+    /// A skip point whose pruned phases all complete at `scan` and
+    /// whose unpruned baseline completes at `base`.
+    fn skip_point(name: &str, scan: u64, base: u64) -> String {
+        let archs: Vec<String> = ARCHS
+            .iter()
+            .map(|a| {
+                format!(
+                    "\"{a}\": {{\"cycles\": {scan}, \"dispatch_end\": {scan}, \
+                     \"scan_end\": {scan}, \"gather_cycles\": 0, \"regions_scanned\": 2, \
+                     \"regions_pruned\": 62, \"base_cycles\": {base}, \
+                     \"base_dispatch_end\": {base}, \"base_scan_end\": {base}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+            archs.join(", ")
+        )
+    }
+
+    fn serve_skip_point(skipped: u64, cycles: u64, base: u64) -> String {
+        format!(
+            "{{\"name\": \"serve_skip\", \"shards\": 4, \"shards_skipped\": {skipped}, \
+             \"cycles\": {cycles}, \"base_cycles\": {base}}}"
+        )
+    }
+
     fn doc_full(gather_q6: u64, par_cycles: [u64; 4], serve_qpgc: [u64; 4]) -> String {
         let mut points = vec![
             four_arch_point("sel_2%", 0),
@@ -390,6 +501,12 @@ mod tests {
             points.push(serve_point(name, replicas, qpgc, 100, 200, 300));
         }
         points.push(fail_point(96, 1, 11));
+        // Distinct bases keep the skip rows individually addressable
+        // by the failure-injection tests' string replacements.
+        points.push(skip_point("skip_1%", 10, 300));
+        points.push(skip_point("skip_3%", 20, 200));
+        points.push(skip_point("skip_10%", 60, 100));
+        points.push(serve_skip_point(3, 40, 90));
         format!(
             "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
              \"points\": [{}]}}",
@@ -407,7 +524,7 @@ mod tests {
 
     #[test]
     fn accepts_a_complete_document() {
-        assert_eq!(check(&doc(10)), Ok(14));
+        assert_eq!(check(&doc(10)), Ok(18));
     }
 
     #[test]
@@ -531,6 +648,55 @@ mod tests {
         // A missing digest pair is as fatal as a mismatched one.
         let err = check(&doc(10).replace("digest_x86_clean", "digest_x86_gone")).unwrap_err();
         assert!(err.contains("digest_x86_clean"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_skip_points() {
+        let text = doc(10).replace("skip_3%", "skip_33%");
+        assert!(check(&text).unwrap_err().contains("skip_3%"));
+    }
+
+    #[test]
+    fn rejects_pruning_costing_cycles() {
+        // skip_10% carries base 100; dropping the baseline below the
+        // pruned run's 60 cycles means pruning made the machine slower.
+        let text = doc(10)
+            .replace("\"base_cycles\": 100", "\"base_cycles\": 40");
+        let err = check(&text).unwrap_err();
+        assert!(
+            err.contains("skip_10%") && err.contains("slower"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_skip_row_that_pruned_nothing() {
+        let text = doc(10).replace("\"regions_pruned\": 62", "\"regions_pruned\": 0");
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("pruned no regions"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_skip_win_below_15x_at_low_selectivity() {
+        // skip_3% prunes to 20 cycles against base 200; a baseline of
+        // 25 leaves only a 1.25x scan win — short of the 1.5x owed at
+        // <= 3 % selectivity. skip_10% owes no such margin.
+        let text = doc(10).replace("\"base_scan_end\": 200", "\"base_scan_end\": 25");
+        let err = check(&text).unwrap_err();
+        assert!(
+            err.contains("skip_3%") && err.contains("below 1.5x"),
+            "{err}"
+        );
+        assert!(check(&doc(10).replace("\"base_scan_end\": 100", "\"base_scan_end\": 70")).is_ok());
+    }
+
+    #[test]
+    fn rejects_a_scatter_path_that_never_skipped() {
+        let text = doc(10).replace("\"shards_skipped\": 3", "\"shards_skipped\": 0");
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("skipped no shards"), "{err}");
+        let text = doc(10).replace("serve_skip", "serve_skap");
+        assert!(check(&text).unwrap_err().contains("serve_skip"));
     }
 
     #[test]

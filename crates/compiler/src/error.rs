@@ -14,7 +14,7 @@
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let empty = DsmLayout::new(0, 0);
-/// let err = lower_hmc_scan(&Query::q6(), &empty, STOCK_HMC_OP);
+/// let err = lower_hmc_scan(&Query::q6(), &empty, STOCK_HMC_OP, None);
 /// assert_eq!(err.unwrap_err(), CompileError::EmptyTable);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +25,15 @@ pub enum CompileError {
     /// Aggregate lowering was requested for a query that does not
     /// aggregate (no `SUM(l_extendedprice * l_discount)` to fuse).
     NotAnAggregate,
+    /// A predicate is *statically* impossible — an inverted
+    /// `CmpOp::Range` (`lo > hi`) that no value of any table could
+    /// ever satisfy. Distinct from a query the zone map prunes
+    /// completely on one particular table's data: that is a valid
+    /// compile producing an empty program (the data could have been
+    /// different), whereas this query is malformed independent of
+    /// data, so the caller gets a typed error instead of a scan that
+    /// provably returns nothing.
+    PredicateUnsatisfiable,
 }
 
 impl std::fmt::Display for CompileError {
@@ -33,6 +42,9 @@ impl std::fmt::Display for CompileError {
             CompileError::EmptyTable => f.write_str("cannot lower a scan over zero rows"),
             CompileError::NotAnAggregate => {
                 f.write_str("aggregate lowering requires an aggregating query")
+            }
+            CompileError::PredicateUnsatisfiable => {
+                f.write_str("predicate is statically unsatisfiable (inverted range)")
             }
         }
     }
@@ -53,6 +65,9 @@ mod tests {
         assert!(CompileError::NotAnAggregate
             .to_string()
             .contains("aggregate"));
+        assert!(CompileError::PredicateUnsatisfiable
+            .to_string()
+            .contains("unsatisfiable"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::error::CompileError;
 use crate::logic::REGION_ROWS;
-use hipe_db::{CmpOp, DsmLayout, Query};
+use hipe_db::{CmpOp, DsmLayout, PruneStats, Query, ZoneMap};
 use hipe_isa::{MicroOp, MicroOpKind, OpSize, VaultOp, LANE_BYTES};
 
 /// Operand size of the *stock* HMC 2.1 atomic instructions: 16 bytes
@@ -60,6 +60,13 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 /// Use [`STOCK_HMC_OP`] (16 B) for the paper's stock machine; larger
 /// sizes model the paper's operand-size extension sweep.
 ///
+/// With `prune` set, a region whose zone-map summaries prove the
+/// conjunction can't match emits nothing at all — no dispatches, no
+/// combine, no loop overhead — and a packed mask word is stored only
+/// when at least one of its two regions survives (fully pruned words
+/// keep the reset image's correct zeros). A fully pruned query lowers
+/// to a valid *empty* stream, never an error.
+///
 /// # Example
 ///
 /// ```
@@ -68,7 +75,7 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 /// use hipe_isa::MicroOpKind;
 ///
 /// let layout = DsmLayout::new(0, 64);
-/// let ops = lower_hmc_scan(&Query::q6(), &layout, STOCK_HMC_OP).expect("64 rows");
+/// let (ops, _) = lower_hmc_scan(&Query::q6(), &layout, STOCK_HMC_OP, None).expect("64 rows");
 /// let dispatches = ops
 ///     .iter()
 ///     .filter(|o| matches!(o.kind, MicroOpKind::HmcDispatch { .. }))
@@ -79,23 +86,43 @@ fn vault_cmp(cmp: CmpOp) -> VaultOp {
 ///
 /// # Errors
 ///
-/// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows,
+/// [`CompileError::PredicateUnsatisfiable`] if a predicate is
+/// statically impossible (inverted range).
 pub fn lower_hmc_scan(
     query: &Query,
     layout: &DsmLayout,
     op_size: OpSize,
-) -> Result<Vec<MicroOp>, CompileError> {
+    prune: Option<&ZoneMap>,
+) -> Result<(Vec<MicroOp>, PruneStats), CompileError> {
     if layout.rows() == 0 {
         return Err(CompileError::EmptyTable);
+    }
+    if query.predicates().iter().any(|p| !p.cmp.satisfiable()) {
+        return Err(CompileError::PredicateUnsatisfiable);
+    }
+    if let Some(zm) = prune {
+        assert_eq!(
+            zm.regions(),
+            layout.regions(),
+            "zone map summarizes a different table than the layout"
+        );
     }
     let mask_base = layout.mask_base();
     let regions = layout.rows().div_ceil(REGION_ROWS);
     let region_bytes = REGION_ROWS as u64 * LANE_BYTES;
     let chunks = (region_bytes / op_size.bytes()) as usize;
     let npreds = query.predicates().len();
-    let mut ops = Vec::with_capacity(regions * (npreds + 1) * (chunks + 1));
+    let survivors: Vec<usize> = (0..regions)
+        .filter(|&r| prune.is_none_or(|zm| zm.region_may_match(query, r)))
+        .collect();
+    let stats = PruneStats {
+        scanned: survivors.len(),
+        pruned: regions - survivors.len(),
+    };
+    let mut ops = Vec::with_capacity(survivors.len() * (npreds + 1) * (chunks + 1));
 
-    for region in 0..regions {
+    for (j, &region) in survivors.iter().enumerate() {
         let chunk_base = region as u64 * region_bytes;
         // Dispatch phase: every predicate's chunks go out back to back;
         // responses return out of order and are combined below.
@@ -123,10 +150,11 @@ pub fn lower_hmc_scan(
             // movemask-style packing of one chunk's lanes.
             ops.push(MicroOp::new(MicroOpKind::IntAlu).with_deps(1, 0));
         }
-        // One packed 8 B word covers 64 rows = two regions; flush on
-        // every odd region and on the final (possibly unpaired) one.
-        if region % 2 == 1 || region + 1 == regions {
-            let word = region / 2;
+        // One packed 8 B word covers 64 rows = two regions; the last
+        // surviving region of a word flushes it (with no pruning:
+        // every odd region and the final, possibly unpaired, one).
+        let word = region / 2;
+        if survivors.get(j + 1).is_none_or(|&next| next / 2 != word) {
             ops.push(
                 MicroOp::new(MicroOpKind::Store {
                     addr: mask_base + word as u64 * 8,
@@ -139,7 +167,7 @@ pub fn lower_hmc_scan(
         ops.push(MicroOp::new(MicroOpKind::IntAlu));
         ops.push(MicroOp::new(MicroOpKind::Branch { mispredict: false }).with_deps(1, 0));
     }
-    Ok(ops)
+    Ok((ops, stats))
 }
 
 #[cfg(test)]
@@ -166,8 +194,8 @@ mod tests {
     #[test]
     fn stock_ops_cover_whole_column_in_16_byte_chunks() {
         let layout = DsmLayout::new(0, 1024);
-        let ops =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
+        let (ops, _) =
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
         let d = dispatches(&ops);
         // 1024 rows x 8 B / 16 B chunks.
         assert_eq!(d.len(), 512);
@@ -181,7 +209,7 @@ mod tests {
     fn comparisons_become_inclusive_ranges() {
         let layout = DsmLayout::new(0, 32);
         let q = Query::q6();
-        let ops = lower_hmc_scan(&q, &layout, OpSize::MAX).expect("non-empty layout");
+        let (ops, _) = lower_hmc_scan(&q, &layout, OpSize::MAX, None).expect("non-empty layout");
         let d = dispatches(&ops);
         assert_eq!(d.len(), 3);
         assert_eq!(d[0].2, VaultOp::LoadCmp { lo: 731, hi: 1095 });
@@ -199,8 +227,8 @@ mod tests {
     fn mask_words_are_stored_every_64_rows() {
         // 100 rows = 4 regions = 2 packed words.
         let layout = DsmLayout::new(0, 100);
-        let ops =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
+        let (ops, _) =
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
         let stores: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o.kind {
@@ -216,8 +244,8 @@ mod tests {
         // 96 rows = 3 regions: word 0 after region 1, word 1 after the
         // unpaired region 2.
         let layout = DsmLayout::new(0, 96);
-        let ops =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
+        let (ops, _) =
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
         let stores = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
@@ -228,7 +256,8 @@ mod tests {
     #[test]
     fn multi_predicate_regions_emit_host_combine_alus() {
         let layout = DsmLayout::new(0, 32);
-        let ops = lower_hmc_scan(&Query::q6(), &layout, STOCK_HMC_OP).expect("non-empty layout");
+        let (ops, _) =
+            lower_hmc_scan(&Query::q6(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
         let alus = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::IntAlu))
@@ -242,16 +271,17 @@ mod tests {
         let layout = DsmLayout::new(0, 4096);
         let q = one_pred_query();
         let stock =
-            dispatches(&lower_hmc_scan(&q, &layout, STOCK_HMC_OP).expect("non-empty")).len();
-        let max = dispatches(&lower_hmc_scan(&q, &layout, OpSize::MAX).expect("non-empty")).len();
+            dispatches(&lower_hmc_scan(&q, &layout, STOCK_HMC_OP, None).expect("non-empty").0).len();
+        let max =
+            dispatches(&lower_hmc_scan(&q, &layout, OpSize::MAX, None).expect("non-empty").0).len();
         assert_eq!(stock, 16 * max);
     }
 
     #[test]
     fn branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
-        let ops =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).expect("non-empty layout");
+        let (ops, _) =
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
@@ -261,8 +291,71 @@ mod tests {
     fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
         assert_eq!(
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP).unwrap_err(),
+            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).unwrap_err(),
             CompileError::EmptyTable
         );
+    }
+
+    #[test]
+    fn inverted_range_is_a_typed_error() {
+        let layout = DsmLayout::new(0, 64);
+        let q = Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Range(7, 1))],
+            false,
+        );
+        assert_eq!(
+            lower_hmc_scan(&q, &layout, STOCK_HMC_OP, None).unwrap_err(),
+            CompileError::PredicateUnsatisfiable
+        );
+    }
+
+    #[test]
+    fn pruned_regions_emit_no_dispatches() {
+        let rows = 4096; // 128 regions
+        let t = hipe_db::LineitemTable::generate_clustered_range(7, 0, rows, rows);
+        let zm = hipe_db::ZoneMap::build(&t);
+        let layout = DsmLayout::new(0, rows);
+        let q = Query::shipdate_window_permille(100);
+        let (full, _) = lower_hmc_scan(&q, &layout, STOCK_HMC_OP, None).expect("valid");
+        let (pruned, stats) = lower_hmc_scan(&q, &layout, STOCK_HMC_OP, Some(&zm)).expect("valid");
+        assert!(stats.pruned > 0);
+        assert_eq!(stats.total(), 128);
+        let full_d = dispatches(&full).len();
+        let pruned_d = dispatches(&pruned).len();
+        // Dispatch count shrinks in exact proportion to pruned regions.
+        assert_eq!(pruned_d, full_d * stats.scanned / 128);
+        // Surviving word stores are a subset of the full stream's.
+        let words = |ops: &[MicroOp]| -> Vec<u64> {
+            ops.iter()
+                .filter_map(|o| match o.kind {
+                    MicroOpKind::Store { addr, .. } => Some(addr),
+                    _ => None,
+                })
+                .collect()
+        };
+        let full_words = words(&full);
+        for a in words(&pruned) {
+            assert!(full_words.contains(&a));
+        }
+    }
+
+    #[test]
+    fn fully_pruned_scan_is_a_valid_empty_stream() {
+        let total = 2048;
+        let t = hipe_db::LineitemTable::generate_clustered_range(3, total / 2, total / 2, total);
+        let zm = hipe_db::ZoneMap::build(&t);
+        let layout = DsmLayout::new(0, total / 2);
+        let q = Query::new(
+            vec![ColumnPredicate::new(
+                Column::Shipdate,
+                CmpOp::Range(0, 50),
+            )],
+            false,
+        );
+        let (ops, stats) =
+            lower_hmc_scan(&q, &layout, STOCK_HMC_OP, Some(&zm)).expect("empty is valid");
+        assert!(ops.is_empty());
+        assert_eq!(stats.scanned, 0);
+        assert_eq!(stats.pruned, layout.regions());
     }
 }

@@ -1,7 +1,7 @@
 //! Lowering of select scans to x86-baseline micro-op streams.
 
 use crate::error::CompileError;
-use hipe_db::{DsmLayout, Query, COLUMN_BYTES};
+use hipe_db::{DsmLayout, PruneStats, Query, ZoneMap, COLUMN_BYTES, REGION_ROWS};
 use hipe_isa::{MicroOp, MicroOpKind, OpSize};
 
 /// Rows per vector line: one 64 B cache line of 8 B column values.
@@ -23,6 +23,16 @@ const LINES_PER_MASK_WORD: usize = 8;
 /// read-modify-write them. Each line also carries the loop-overhead
 /// ALU op and a well-predicted loop branch.
 ///
+/// With `prune` set, the loop skips every 64 B line of a region whose
+/// zone-map summaries prove the conjunction can't match (the modelled
+/// kernel walks a region skip-list instead of the raw row range), and
+/// a packed mask word is only written if at least one of its 64 rows
+/// survives — fully pruned words keep the reset image's zeros, which
+/// is already the correct all-zero mask. A fully pruned query lowers
+/// to a valid *empty* stream, never an error: the machine's
+/// functional mask is computed by reference evaluation, so pruning
+/// here only removes timed work.
+///
 /// # Example
 ///
 /// ```
@@ -30,26 +40,56 @@ const LINES_PER_MASK_WORD: usize = 8;
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let layout = DsmLayout::new(0, 512);
-/// let ops = lower_host_scan(&Query::q6(), &layout).expect("512 rows");
+/// let (ops, stats) = lower_host_scan(&Query::q6(), &layout, None).expect("512 rows");
 /// // Three predicates, 64 lines each, >= 5 micro-ops per line.
 /// assert!(ops.len() >= 3 * 64 * 5);
+/// assert_eq!(stats.scanned, 16);
+/// assert_eq!(stats.pruned, 0);
 /// ```
 ///
 /// # Errors
 ///
-/// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
-pub fn lower_host_scan(query: &Query, layout: &DsmLayout) -> Result<Vec<MicroOp>, CompileError> {
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows,
+/// [`CompileError::PredicateUnsatisfiable`] if a predicate is
+/// statically impossible (inverted range).
+pub fn lower_host_scan(
+    query: &Query,
+    layout: &DsmLayout,
+    prune: Option<&ZoneMap>,
+) -> Result<(Vec<MicroOp>, PruneStats), CompileError> {
     if layout.rows() == 0 {
         return Err(CompileError::EmptyTable);
     }
+    if query.predicates().iter().any(|p| !p.cmp.satisfiable()) {
+        return Err(CompileError::PredicateUnsatisfiable);
+    }
+    if let Some(zm) = prune {
+        assert_eq!(
+            zm.regions(),
+            layout.regions(),
+            "zone map summarizes a different table than the layout"
+        );
+    }
+    let regions = layout.regions();
+    let keep: Vec<bool> = (0..regions)
+        .map(|r| prune.is_none_or(|zm| zm.region_may_match(query, r)))
+        .collect();
+    let scanned = keep.iter().filter(|&&k| k).count();
+    let stats = PruneStats {
+        scanned,
+        pruned: regions - scanned,
+    };
     let mask_base = layout.mask_base();
     let vec_size = OpSize::new(64).expect("64 B is a supported vector width");
     let lines = layout.rows().div_ceil(LINE_ROWS);
-    let mut ops = Vec::with_capacity(query.predicates().len() * lines * 6);
+    let live_lines: Vec<usize> = (0..lines)
+        .filter(|&l| keep[l * LINE_ROWS / REGION_ROWS])
+        .collect();
+    let mut ops = Vec::with_capacity(query.predicates().len() * live_lines.len() * 6);
 
     for (pi, p) in query.predicates().iter().enumerate() {
         let col = layout.column_base(p.column);
-        for line in 0..lines {
+        for (j, &line) in live_lines.iter().enumerate() {
             let addr = col + (line * LINE_ROWS) as u64 * COLUMN_BYTES;
             // Vector load of 8 column values.
             ops.push(MicroOp::new(MicroOpKind::Load { addr, bytes: 64 }));
@@ -57,9 +97,13 @@ pub fn lower_host_scan(query: &Query, layout: &DsmLayout) -> Result<Vec<MicroOp>
             ops.push(MicroOp::new(MicroOpKind::VecAlu { size: vec_size }).with_deps(1, 0));
             // Pack lane results to bits (movemask-style).
             ops.push(MicroOp::new(MicroOpKind::IntAlu).with_deps(1, 0));
-            // Mask word boundary: combine and write back 64 packed bits.
-            if (line + 1) % LINES_PER_MASK_WORD == 0 || line + 1 == lines {
-                let word = line / LINES_PER_MASK_WORD;
+            // Mask word boundary — the last *surviving* line of a word
+            // combines and writes back its 64 packed bits.
+            let word = line / LINES_PER_MASK_WORD;
+            if live_lines
+                .get(j + 1)
+                .is_none_or(|&next| next / LINES_PER_MASK_WORD != word)
+            {
                 let mask_addr = mask_base + word as u64 * 8;
                 if pi == 0 {
                     // Fresh mask word: store the packed bits.
@@ -91,7 +135,7 @@ pub fn lower_host_scan(query: &Query, layout: &DsmLayout) -> Result<Vec<MicroOp>
             ops.push(MicroOp::new(MicroOpKind::Branch { mispredict: false }).with_deps(1, 0));
         }
     }
-    Ok(ops)
+    Ok((ops, stats))
 }
 
 #[cfg(test)]
@@ -109,7 +153,7 @@ mod tests {
     #[test]
     fn stream_touches_whole_column() {
         let layout = DsmLayout::new(0, 1024);
-        let ops = lower_host_scan(&one_pred_query(), &layout).expect("non-empty");
+        let (ops, _) = lower_host_scan(&one_pred_query(), &layout, None).expect("non-empty");
         let col = layout.column_base(Column::Quantity);
         let loads: Vec<u64> = ops
             .iter()
@@ -127,7 +171,7 @@ mod tests {
     fn later_predicates_read_modify_write_mask() {
         let layout = DsmLayout::new(0, 64);
         let q = Query::q6();
-        let ops = lower_host_scan(&q, &layout).expect("non-empty");
+        let (ops, _) = lower_host_scan(&q, &layout, None).expect("non-empty");
         let mask_loads = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Load { bytes: 8, .. }))
@@ -145,7 +189,7 @@ mod tests {
     #[test]
     fn loop_branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
-        let ops = lower_host_scan(&one_pred_query(), &layout).expect("non-empty");
+        let (ops, _) = lower_host_scan(&one_pred_query(), &layout, None).expect("non-empty");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
@@ -155,7 +199,7 @@ mod tests {
     fn tail_rows_emit_final_mask_word() {
         // 70 rows = 9 lines: the last (partial) word is flushed.
         let layout = DsmLayout::new(0, 70);
-        let ops = lower_host_scan(&one_pred_query(), &layout).expect("non-empty");
+        let (ops, _) = lower_host_scan(&one_pred_query(), &layout, None).expect("non-empty");
         let stores: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o.kind {
@@ -170,8 +214,71 @@ mod tests {
     fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
         assert_eq!(
-            lower_host_scan(&one_pred_query(), &layout).unwrap_err(),
+            lower_host_scan(&one_pred_query(), &layout, None).unwrap_err(),
             CompileError::EmptyTable
         );
+    }
+
+    #[test]
+    fn inverted_range_is_a_typed_error() {
+        let layout = DsmLayout::new(0, 64);
+        let q = Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Range(9, 2))],
+            false,
+        );
+        assert_eq!(
+            lower_host_scan(&q, &layout, None).unwrap_err(),
+            CompileError::PredicateUnsatisfiable
+        );
+    }
+
+    #[test]
+    fn pruning_skips_lines_and_dead_mask_words() {
+        let rows = 4096;
+        let t = hipe_db::LineitemTable::generate_clustered_range(7, 0, rows, rows);
+        let zm = hipe_db::ZoneMap::build(&t);
+        let layout = DsmLayout::new(0, rows);
+        let q = Query::shipdate_window_permille(100);
+        let (full, fs) = lower_host_scan(&q, &layout, None).expect("valid");
+        let (pruned, ps) = lower_host_scan(&q, &layout, Some(&zm)).expect("valid");
+        assert_eq!(fs.pruned, 0);
+        assert_eq!(ps.total(), layout.regions());
+        assert!(ps.pruned > 0);
+        assert!(pruned.len() < full.len());
+        // Pruned stream only stores words at least one region of which
+        // survives — a subset of the full stream's word addresses.
+        let words = |ops: &[MicroOp]| -> Vec<u64> {
+            ops.iter()
+                .filter_map(|o| match o.kind {
+                    MicroOpKind::Store { addr, .. } => Some(addr),
+                    _ => None,
+                })
+                .collect()
+        };
+        let full_words = words(&full);
+        let pruned_words = words(&pruned);
+        assert!(pruned_words.len() < full_words.len());
+        for a in pruned_words {
+            assert!(full_words.contains(&a));
+        }
+    }
+
+    #[test]
+    fn fully_pruned_scan_is_a_valid_empty_stream() {
+        let total = 2048;
+        let t = hipe_db::LineitemTable::generate_clustered_range(3, total / 2, total / 2, total);
+        let zm = hipe_db::ZoneMap::build(&t);
+        let layout = DsmLayout::new(0, total / 2);
+        let q = Query::new(
+            vec![ColumnPredicate::new(
+                Column::Shipdate,
+                CmpOp::Range(0, 50),
+            )],
+            false,
+        );
+        let (ops, stats) = lower_host_scan(&q, &layout, Some(&zm)).expect("empty is valid");
+        assert!(ops.is_empty());
+        assert_eq!(stats.scanned, 0);
+        assert_eq!(stats.pruned, layout.regions());
     }
 }

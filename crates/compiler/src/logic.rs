@@ -2,7 +2,7 @@
 //! logic-layer programs — one per vault-group partition.
 
 use crate::error::CompileError;
-use hipe_db::{CmpOp, Column, DsmLayout, Query, REGION_BYTES};
+use hipe_db::{CmpOp, Column, DsmLayout, PruneStats, Query, ZoneMap, REGION_BYTES};
 use hipe_isa::{AluOp, LogicInstr, LogicProgram, OpSize, PartitionSpec, Predicate, RegId};
 
 /// Rows covered by one logic-layer operation: a full 256 B register
@@ -51,7 +51,7 @@ const AGG_GROUP: usize = 32;
 /// use hipe_db::{DsmLayout, Query};
 ///
 /// let layout = DsmLayout::new(0, 1000);
-/// let prog = lower_logic_scan(&Query::q6(), &layout, true).expect("non-empty layout");
+/// let prog = lower_logic_scan(&Query::q6(), &layout, true, None).expect("non-empty layout");
 /// assert_eq!(prog.regions(), 1000usize.div_ceil(REGION_ROWS));
 /// assert_eq!(prog.partitions(), 1);
 /// assert_eq!(prog.mask_addr(2), layout.mask_base() + 512);
@@ -64,6 +64,7 @@ pub struct LogicScanProgram {
     programs: Vec<LogicProgram>,
     layout: DsmLayout,
     aggregate: bool,
+    prune: PruneStats,
 }
 
 impl LogicScanProgram {
@@ -135,6 +136,13 @@ impl LogicScanProgram {
             0
         }
     }
+
+    /// Regions the emitted streams scan vs. regions the zone map let
+    /// the compiler drop ([`PruneStats::unpruned`] when lowered
+    /// without one).
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune
+    }
 }
 
 /// Maps a database comparison onto the logic-layer ALU.
@@ -162,15 +170,28 @@ fn alu_op(cmp: CmpOp) -> AluOp {
 /// every engine has its own register bank, so the allocation repeats
 /// per partition.
 ///
+/// With `prune` set, regions whose zone-map summaries prove the
+/// predicate conjunction can't match are dropped from the emitted
+/// streams ([`LogicScanProgram::prune_stats`] counts them). A dropped
+/// region's mask chunk is simply never written — the mask area starts
+/// zeroed, so it reads back as the correct all-zero mask. **Empty
+/// programs are a valid result**: a partition (or the whole query)
+/// with every region pruned lowers to an instruction-free
+/// [`LogicProgram`], which the dispatcher skips — never an error, and
+/// never a panic downstream.
+///
 /// # Errors
 ///
-/// Returns [`CompileError::EmptyTable`] if the layout has zero rows.
+/// Returns [`CompileError::EmptyTable`] if the layout has zero rows,
+/// [`CompileError::PredicateUnsatisfiable`] if a predicate is
+/// statically impossible (inverted range).
 pub fn lower_logic_scan(
     query: &Query,
     layout: &DsmLayout,
     predicated: bool,
+    prune: Option<&ZoneMap>,
 ) -> Result<LogicScanProgram, CompileError> {
-    lower(query, layout, predicated, false)
+    lower(query, layout, predicated, false, prune)
 }
 
 /// Lowers an aggregate `query` into fused per-partition logic-layer
@@ -196,19 +217,32 @@ pub fn lower_logic_scan(
 /// unpredicated at group start, which makes a squashed region's lane
 /// an exact zero.
 ///
+/// With `prune` set, zone-map-pruned regions lose their whole block —
+/// scan *and* tail. Pruning never renumbers a surviving region's
+/// partial-sum slot: lanes and flush rows are keyed by the region's
+/// *unpruned* local index, a group's register is zeroed at its first
+/// surviving region and flushed after its last, and groups with every
+/// region pruned emit nothing — their slots keep the reset image's
+/// zeros, so the combined sum is bit-identical to the unpruned run.
+/// As with the plain scan, a fully-pruned partition (or query) lowers
+/// to valid empty programs, never an error.
+///
 /// # Errors
 ///
 /// Returns [`CompileError::EmptyTable`] if the layout has zero rows,
-/// [`CompileError::NotAnAggregate`] if the query does not aggregate.
+/// [`CompileError::NotAnAggregate`] if the query does not aggregate,
+/// [`CompileError::PredicateUnsatisfiable`] if a predicate is
+/// statically impossible (inverted range).
 pub fn lower_logic_aggregate(
     query: &Query,
     layout: &DsmLayout,
     predicated: bool,
+    prune: Option<&ZoneMap>,
 ) -> Result<LogicScanProgram, CompileError> {
     if !query.aggregates() {
         return Err(CompileError::NotAnAggregate);
     }
-    lower(query, layout, predicated, true)
+    lower(query, layout, predicated, true, prune)
 }
 
 /// Shared emitter of scan and fused-aggregate programs.
@@ -217,10 +251,22 @@ fn lower(
     layout: &DsmLayout,
     predicated: bool,
     fused_aggregate: bool,
+    prune: Option<&ZoneMap>,
 ) -> Result<LogicScanProgram, CompileError> {
     if layout.rows() == 0 {
         return Err(CompileError::EmptyTable);
     }
+    if query.predicates().iter().any(|p| !p.cmp.satisfiable()) {
+        return Err(CompileError::PredicateUnsatisfiable);
+    }
+    if let Some(zm) = prune {
+        assert_eq!(
+            zm.regions(),
+            layout.regions(),
+            "zone map summarizes a different table than the layout"
+        );
+    }
+    let mut stats = PruneStats::default();
     let size = OpSize::MAX;
     let npreds = query.predicates().len();
     let tail_len = if fused_aggregate { 6 } else { 0 };
@@ -249,14 +295,35 @@ fn lower(
             PartitionSpec::new(p, vaults.start, vaults.len())
         };
         let owned: Vec<usize> = layout.partition_regions(p).collect();
-        if owned.is_empty() {
+        // The pruning pass: keep only regions the zone map can't prove
+        // empty. Survivors keep their *unpruned* local index (computed
+        // below) so output slots never move.
+        let survivors: Vec<usize> = match prune {
+            Some(zm) => owned
+                .iter()
+                .copied()
+                .filter(|&r| zm.region_may_match(query, r))
+                .collect(),
+            None => owned.clone(),
+        };
+        stats.scanned += survivors.len();
+        stats.pruned += owned.len() - survivors.len();
+        if survivors.is_empty() {
             programs.push(LogicProgram::new(spec, Vec::new()));
             continue;
         }
-        let mut instrs = Vec::with_capacity(2 + owned.len() * (3 * npreds + 1 + tail_len));
+        let mut instrs = Vec::with_capacity(2 + survivors.len() * (3 * npreds + 1 + tail_len));
         instrs.push(LogicInstr::Lock);
-        for (k, &region) in owned.iter().enumerate() {
-            let (r_data, r_mask, r_tmp) = scan_sets[k % 2];
+        let mut prev_group = None;
+        for (pos, &region) in survivors.iter().enumerate() {
+            // `pos` rotates register sets (pure allocation); `k` is
+            // the region's local index in the *unpruned* partition
+            // order, which keys every lane and flush address so a
+            // pruned neighbour never shifts this region's slot. With
+            // no zone map the two are equal and the stream is
+            // byte-identical to the historical lowering.
+            let k = layout.local_region_index(region);
+            let (r_data, r_mask, r_tmp) = scan_sets[pos % 2];
             let chunk = region as u64 * size.bytes();
             let guard = predicated.then(|| Predicate::any_nonzero(r_mask));
             for (pi, pred_col) in query.predicates().iter().enumerate() {
@@ -307,10 +374,10 @@ fn lower(
                 pred: guard,
             });
             if fused_aggregate {
-                let (r_price, r_disc, r_mcopy) = agg_sets[k % 4];
+                let (r_price, r_disc, r_mcopy) = agg_sets[pos % 4];
                 let group = k / AGG_GROUP;
                 let r_part = parts[group % 2];
-                if k % AGG_GROUP == 0 {
+                if prev_group != Some(group) {
                     // Fresh group: zero its partial register (never
                     // predicated — on HIPE a squashed region must
                     // leave its lane at exactly zero, not at the
@@ -371,11 +438,16 @@ fn lower(
                     size,
                     pred: guard,
                 });
-                if (k + 1) % AGG_GROUP == 0 || k + 1 == owned.len() {
+                let next_group = survivors
+                    .get(pos + 1)
+                    .map(|&r| layout.local_region_index(r) / AGG_GROUP);
+                if next_group != Some(group) {
                     // Flush the group's 32 partials as one row-buffer
                     // store into the partition's own vault group
                     // (never predicated: earlier regions of the group
                     // may have matched even if this one did not).
+                    // Pruned lanes were zeroed with the register, so
+                    // the store writes their slots' correct zeros.
                     instrs.push(LogicInstr::Store {
                         src: r_part,
                         addr: layout.agg_flush_addr(p, group),
@@ -383,6 +455,7 @@ fn lower(
                         pred: None,
                     });
                 }
+                prev_group = Some(group);
             }
         }
         instrs.push(LogicInstr::Unlock);
@@ -393,6 +466,7 @@ fn lower(
         programs,
         layout: *layout,
         aggregate: fused_aggregate,
+        prune: stats,
     })
 }
 
@@ -410,12 +484,12 @@ mod tests {
 
     fn scan(query: &Query, rows: usize, predicated: bool) -> LogicScanProgram {
         let layout = DsmLayout::new(0, rows);
-        lower_logic_scan(query, &layout, predicated).expect("non-empty layout")
+        lower_logic_scan(query, &layout, predicated, None).expect("non-empty layout")
     }
 
     fn aggregate(query: &Query, rows: usize, pred: bool) -> LogicScanProgram {
         let layout = DsmLayout::new(0, rows);
-        lower_logic_aggregate(query, &layout, pred).expect("valid aggregate")
+        lower_logic_aggregate(query, &layout, pred, None).expect("valid aggregate")
     }
 
     fn flat(prog: &LogicScanProgram) -> Vec<LogicInstr> {
@@ -500,11 +574,11 @@ mod tests {
     fn zero_rows_is_a_typed_error() {
         let layout = DsmLayout::new(0, 0);
         assert_eq!(
-            lower_logic_scan(&one_pred_query(), &layout, true).unwrap_err(),
+            lower_logic_scan(&one_pred_query(), &layout, true, None).unwrap_err(),
             CompileError::EmptyTable
         );
         assert_eq!(
-            lower_logic_aggregate(&Query::q6(), &layout, true).unwrap_err(),
+            lower_logic_aggregate(&Query::q6(), &layout, true, None).unwrap_err(),
             CompileError::EmptyTable
         );
     }
@@ -513,7 +587,7 @@ mod tests {
     fn aggregate_lowering_rejects_plain_scans() {
         let layout = DsmLayout::new(0, 64);
         assert_eq!(
-            lower_logic_aggregate(&one_pred_query(), &layout, true).unwrap_err(),
+            lower_logic_aggregate(&one_pred_query(), &layout, true, None).unwrap_err(),
             CompileError::NotAnAggregate
         );
     }
@@ -639,7 +713,7 @@ mod tests {
     #[test]
     fn aggregate_tail_loads_price_and_discount_columns() {
         let layout = DsmLayout::new(0, 32);
-        let prog = lower_logic_aggregate(&Query::q6(), &layout, false).expect("valid aggregate");
+        let prog = lower_logic_aggregate(&Query::q6(), &layout, false, None).expect("valid aggregate");
         let loads: Vec<u64> = prog
             .iter_instrs()
             .filter_map(|i| match i {
@@ -665,7 +739,7 @@ mod tests {
         // tagged with their vault groups, streams shaped like a
         // 32-region single-partition scan.
         let layout = DsmLayout::partitioned(0, 4096, 4);
-        let prog = lower_logic_scan(&Query::q6(), &layout, true).expect("non-empty layout");
+        let prog = lower_logic_scan(&Query::q6(), &layout, true, None).expect("non-empty layout");
         assert_eq!(prog.partitions(), 4);
         for (p, lp) in prog.programs().iter().enumerate() {
             assert_eq!(lp.spec().index, p);
@@ -700,7 +774,7 @@ mod tests {
             let prog = if fused {
                 aggregate_over(&layout)
             } else {
-                lower_logic_scan(&Query::q6(), &layout, true).expect("non-empty layout")
+                lower_logic_scan(&Query::q6(), &layout, true, None).expect("non-empty layout")
             };
             for lp in prog.programs() {
                 for i in lp.instrs() {
@@ -720,19 +794,137 @@ mod tests {
     }
 
     fn aggregate_over(layout: &DsmLayout) -> LogicScanProgram {
-        lower_logic_aggregate(&Query::q6(), layout, true).expect("valid aggregate")
+        lower_logic_aggregate(&Query::q6(), layout, true, None).expect("valid aggregate")
     }
 
     #[test]
     fn empty_partitions_get_empty_programs() {
         // 64 rows = 2 regions, both in partition 0 of 8.
         let layout = DsmLayout::partitioned(0, 64, 8);
-        let prog = lower_logic_scan(&one_pred_query(), &layout, true).expect("non-empty layout");
+        let prog = lower_logic_scan(&one_pred_query(), &layout, true, None).expect("non-empty layout");
         assert_eq!(prog.partitions(), 8);
         assert!(!prog.programs()[0].is_empty());
         for lp in &prog.programs()[1..] {
             assert!(lp.is_empty(), "partition {} not idle", lp.spec().index);
         }
+    }
+
+    fn clustered_zonemap(rows: usize) -> hipe_db::ZoneMap {
+        let t = hipe_db::LineitemTable::generate_clustered_range(7, 0, rows, rows);
+        hipe_db::ZoneMap::build(&t)
+    }
+
+    #[test]
+    fn inverted_range_is_a_typed_error() {
+        let layout = DsmLayout::new(0, 64);
+        let q = Query::new(
+            vec![ColumnPredicate::new(Column::Quantity, CmpOp::Range(10, 5))],
+            false,
+        );
+        assert_eq!(
+            lower_logic_scan(&q, &layout, true, None).unwrap_err(),
+            CompileError::PredicateUnsatisfiable
+        );
+        assert_eq!(
+            lower_logic_aggregate(&q.clone().with_aggregate(), &layout, true, None).unwrap_err(),
+            CompileError::PredicateUnsatisfiable
+        );
+    }
+
+    #[test]
+    fn pruned_lowering_drops_regions_but_not_surviving_stores() {
+        let rows = 2048; // 64 regions
+        let zm = clustered_zonemap(rows);
+        let layout = DsmLayout::new(0, rows);
+        let q = Query::shipdate_window_permille(100);
+        let full = lower_logic_scan(&q, &layout, true, None).expect("valid");
+        let pruned = lower_logic_scan(&q, &layout, true, Some(&zm)).expect("valid");
+        assert_eq!(full.prune_stats(), hipe_db::PruneStats::unpruned(64));
+        let s = pruned.prune_stats();
+        assert_eq!(s.total(), 64);
+        assert!(s.pruned > 32, "only {} pruned", s.pruned);
+        assert!(pruned.total_instrs() < full.total_instrs());
+        // Every surviving region's mask store lands at the same
+        // address as in the full stream.
+        let stores = |p: &LogicScanProgram| -> Vec<u64> {
+            p.iter_instrs()
+                .filter_map(|i| match i {
+                    LogicInstr::Store { addr, .. } => Some(*addr),
+                    _ => None,
+                })
+                .collect()
+        };
+        let full_stores = stores(&full);
+        for a in stores(&pruned) {
+            assert!(full_stores.contains(&a), "store to {a} not in full stream");
+        }
+    }
+
+    #[test]
+    fn pruned_aggregate_lanes_stay_keyed_to_unpruned_indices() {
+        // The load-bearing invariant: pruning must never renumber a
+        // surviving region's partial-sum lane or flush row, or the
+        // host would read partials from the wrong slots.
+        let rows = 4096; // 128 regions over 2 partitions
+        let zm = clustered_zonemap(rows);
+        let layout = DsmLayout::partitioned(0, rows, 2);
+        let q = Query::shipdate_window_permille(300).with_aggregate();
+        let pruned = lower_logic_aggregate(&q, &layout, true, Some(&zm)).expect("valid");
+        assert!(pruned.prune_stats().pruned > 0);
+        for (p, lp) in pruned.programs().iter().enumerate() {
+            let expected: Vec<u8> = layout
+                .partition_regions(p)
+                .filter(|&r| zm.region_may_match(&q, r))
+                .map(|r| (layout.local_region_index(r) % AGG_GROUP) as u8)
+                .collect();
+            let lanes: Vec<u8> = lp
+                .instrs()
+                .iter()
+                .filter_map(|i| match i {
+                    LogicInstr::Alu {
+                        op: AluOp::AddReduce { lane },
+                        ..
+                    } => Some(*lane),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(lanes, expected, "partition {p}");
+            // Flush addresses are a subset of the unpruned group rows.
+            for i in lp.instrs() {
+                if let LogicInstr::Store {
+                    addr, pred: None, ..
+                } = i
+                {
+                    if *addr >= layout.agg_base() {
+                        let off = addr - layout.agg_flush_addr(p, 0);
+                        assert_eq!(off % 256, 0, "partition {p} flush at {addr}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_pruned_query_lowers_to_empty_programs() {
+        // A shard holding only late rows of a clustered table against
+        // an early date window: every region pruned, valid empty
+        // programs, zero scanned.
+        let total = 4096;
+        let t = hipe_db::LineitemTable::generate_clustered_range(3, total / 2, total / 2, total);
+        let zm = hipe_db::ZoneMap::build(&t);
+        let layout = DsmLayout::new(0, total / 2);
+        let q = Query::new(
+            vec![ColumnPredicate::new(
+                Column::Shipdate,
+                CmpOp::Range(0, 100),
+            )],
+            false,
+        );
+        let prog = lower_logic_scan(&q, &layout, true, Some(&zm)).expect("empty is valid");
+        assert_eq!(prog.prune_stats().scanned, 0);
+        assert_eq!(prog.prune_stats().pruned, 64);
+        assert!(prog.programs().iter().all(|p| p.is_empty()));
+        assert_eq!(prog.total_instrs(), 0);
     }
 
     #[test]

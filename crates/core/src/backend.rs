@@ -5,7 +5,7 @@ use crate::session::Session;
 use crate::system::System;
 use crate::{host, neardata};
 use hipe_compiler::{CompileError, LogicScanProgram, STOCK_HMC_OP};
-use hipe_db::Query;
+use hipe_db::{PruneStats, Query};
 use hipe_isa::{MicroOp, OpSize};
 
 /// One architecture's compile/execute implementation.
@@ -89,6 +89,7 @@ pub struct ExecutablePlan {
     query: Query,
     rows: usize,
     partitions: usize,
+    prune: PruneStats,
     code: PlanCode,
 }
 
@@ -122,6 +123,14 @@ impl ExecutablePlan {
             PlanCode::Micro(ops) => ops.len(),
             PlanCode::Logic { program, .. } => program.total_instrs(),
         }
+    }
+
+    /// How many 32-row regions the plan scans versus how many the
+    /// zone map pruned at compile time. Without
+    /// [`SystemConfig::pruning`](crate::SystemConfig) every region is
+    /// scanned and `pruned` is zero.
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune
     }
 
     /// Returns `true` when the plan runs its aggregate fused inside
@@ -159,12 +168,14 @@ impl Backend for HostX86Backend {
 
     fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
         sys.note_compilation();
+        let (ops, prune) = hipe_compiler::lower_host_scan(query, sys.layout(), sys.prune())?;
         Ok(ExecutablePlan {
             arch: Arch::HostX86,
             query: query.clone(),
             rows: sys.config().rows,
             partitions: sys.config().partitions,
-            code: PlanCode::Micro(hipe_compiler::lower_host_scan(query, sys.layout())?),
+            prune,
+            code: PlanCode::Micro(ops),
         })
     }
 
@@ -199,16 +210,15 @@ impl Backend for HmcIsaBackend {
 
     fn compile(&self, sys: &System, query: &Query) -> Result<ExecutablePlan, CompileError> {
         sys.note_compilation();
+        let (ops, prune) =
+            hipe_compiler::lower_hmc_scan(query, sys.layout(), self.op_size, sys.prune())?;
         Ok(ExecutablePlan {
             arch: Arch::HmcIsa,
             query: query.clone(),
             rows: sys.config().rows,
             partitions: sys.config().partitions,
-            code: PlanCode::Micro(hipe_compiler::lower_hmc_scan(
-                query,
-                sys.layout(),
-                self.op_size,
-            )?),
+            prune,
+            code: PlanCode::Micro(ops),
         })
     }
 
@@ -265,15 +275,16 @@ fn compile_logic(
 ) -> Result<ExecutablePlan, CompileError> {
     sys.note_compilation();
     let program = if query.aggregates() && fused_aggregate {
-        hipe_compiler::lower_logic_aggregate(query, sys.layout(), predicated)?
+        hipe_compiler::lower_logic_aggregate(query, sys.layout(), predicated, sys.prune())?
     } else {
-        hipe_compiler::lower_logic_scan(query, sys.layout(), predicated)?
+        hipe_compiler::lower_logic_scan(query, sys.layout(), predicated, sys.prune())?
     };
     Ok(ExecutablePlan {
         arch,
         query: query.clone(),
         rows: sys.config().rows,
         partitions: sys.config().partitions,
+        prune: program.prune_stats(),
         code: PlanCode::Logic {
             program,
             predicated,
@@ -385,6 +396,36 @@ mod tests {
             fused.instructions(),
             gather.instructions() + 5 * 256usize.div_ceil(hipe_compiler::REGION_ROWS) + 2
         );
+    }
+
+    #[test]
+    fn pruning_config_threads_into_every_backend() {
+        use crate::system::SystemConfig;
+        use hipe_db::TableShape;
+        let rows = 2048;
+        let mut cfg = SystemConfig::paper(rows, 5);
+        cfg.shape = TableShape::ClusteredShipdate { total_rows: rows };
+        cfg.pruning = true;
+        let sys = System::with_config(cfg);
+        let q = Query::shipdate_window_permille(100);
+        for arch in Arch::ALL {
+            let plan = System::backend(arch)
+                .compile(&sys, &q)
+                .expect("live systems always compile");
+            let s = plan.prune_stats();
+            assert_eq!(s.total(), rows / 32, "{arch}");
+            assert!(s.pruned > 0, "{arch} pruned nothing on a clustered table");
+        }
+        // Without the flag the same system scans everything.
+        let mut unpruned_cfg = sys.config().clone();
+        unpruned_cfg.pruning = false;
+        let unpruned = System::with_config(unpruned_cfg);
+        for arch in Arch::ALL {
+            let plan = System::backend(arch)
+                .compile(&unpruned, &q)
+                .expect("live systems always compile");
+            assert_eq!(plan.prune_stats().pruned, 0, "{arch}");
+        }
     }
 
     #[test]

@@ -147,6 +147,8 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
             scan: scan_end,
             dram_bytes: scan_stats.bytes_read + scan_stats.bytes_written,
         }],
+        regions_scanned: plan.prune_stats().scanned,
+        regions_pruned: plan.prune_stats().pruned,
         energy: hmc.energy(),
         core: core.stats(),
         cache: Some(caches.stats()),

@@ -94,6 +94,7 @@ pub use backend::{
     Backend, ExecutablePlan, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Backend,
 };
 pub use hipe_compiler::CompileError;
+pub use hipe_db::{PruneStats, TableShape, ZoneMap};
 pub use report::{Arch, PartitionPhase, PhaseBreakdown, RunReport};
 pub use session::Session;
 pub use system::{System, SystemConfig};

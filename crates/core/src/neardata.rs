@@ -257,6 +257,8 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
             gather_aggregate: cycles - scan_end,
         },
         partitions,
+        regions_scanned: plan.prune_stats().scanned,
+        regions_pruned: plan.prune_stats().pruned,
         energy: hmc.energy(),
         core: core.stats(),
         cache: None,

@@ -3,6 +3,7 @@
 use hipe_cache::CacheStats;
 use hipe_cpu::CoreStats;
 use hipe_db::scan::ScanResult;
+use hipe_db::Bitmask;
 use hipe_hmc::{EnergyBreakdown, HmcStats};
 use hipe_logic::EngineStats;
 use hipe_sim::Cycle;
@@ -116,6 +117,14 @@ pub struct RunReport {
     /// Per-partition breakdown: one entry per vault-group engine on
     /// HIVE/HIPE, a single whole-cube entry on the host machines.
     pub partitions: Vec<PartitionPhase>,
+    /// 32-row regions the compiled plan actually scanned.
+    pub regions_scanned: usize,
+    /// 32-row regions the zone map pruned at compile time (zero unless
+    /// the system was configured with
+    /// [`pruning`](crate::SystemConfig::pruning)). Pruned regions
+    /// contribute exact-zero mask words and aggregate lanes, so
+    /// `result` is bit-identical to the unpruned run's.
+    pub regions_pruned: usize,
     /// Energy accumulated across cube, links, logic and caches.
     pub energy: EnergyBreakdown,
     /// Out-of-order core activity.
@@ -129,6 +138,33 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// The report of a sub-query that was never dispatched because a
+    /// zone-map rollup proved no region of the `rows`-tuple table
+    /// could match: an all-zero mask (the exact answer), zero cycles
+    /// and energy, and every one of the table's `regions` counted as
+    /// pruned. `hipe-serve` synthesizes these for shards its scatter
+    /// path skips; an aggregating query gets the exact `Some(0)` sum.
+    pub fn skipped(arch: Arch, rows: usize, regions: usize, aggregating: bool) -> RunReport {
+        RunReport {
+            arch,
+            result: ScanResult {
+                bitmask: Bitmask::zeros(rows),
+                matches: 0,
+                aggregate: aggregating.then_some(0),
+            },
+            cycles: 0,
+            phases: PhaseBreakdown::default(),
+            partitions: Vec::new(),
+            regions_scanned: 0,
+            regions_pruned: regions,
+            energy: EnergyBreakdown::new(),
+            core: CoreStats::default(),
+            cache: None,
+            engine: None,
+            hmc: HmcStats::default(),
+        }
+    }
+
     /// Speedup of this run relative to `other` (>1 means faster).
     pub fn speedup_over(&self, other: &RunReport) -> f64 {
         other.cycles as f64 / self.cycles.max(1) as f64
@@ -160,6 +196,13 @@ impl std::fmt::Display for RunReport {
             100.0 * self.selectivity(),
             self.energy,
         )?;
+        if self.regions_pruned > 0 {
+            write!(
+                f,
+                " [zonemap: {} regions scanned, {} pruned]",
+                self.regions_scanned, self.regions_pruned
+            )?;
+        }
         if self.partitions.len() > 1 {
             write!(f, " [{} engines: scan", self.partitions.len())?;
             for (i, p) in self.partitions.iter().enumerate() {
@@ -204,6 +247,8 @@ mod tests {
                 scan: cycles,
                 dram_bytes: 0,
             }],
+            regions_scanned: 4,
+            regions_pruned: 0,
             energy: EnergyBreakdown::new(),
             core: CoreStats::default(),
             cache: None,
@@ -230,6 +275,28 @@ mod tests {
         assert_eq!(r.selectivity(), 0.0);
         assert!(!r.selectivity().is_nan());
         assert!(r.to_string().contains("(0.00 %)"), "display: {r}");
+    }
+
+    #[test]
+    fn fully_pruned_run_has_finite_selectivity_and_shows_prune_counts() {
+        // Regression: a run whose every region was pruned still has a
+        // row-sized (all-zero) bitmask, so selectivity is an ordinary
+        // 0/len division — finite, no NaN — and Display reports the
+        // zone-map counters.
+        let mut r = dummy(Arch::Hipe, 10, 0);
+        r.regions_scanned = 0;
+        r.regions_pruned = 4;
+        assert_eq!(r.selectivity(), 0.0);
+        assert!(!r.selectivity().is_nan());
+        let s = r.to_string();
+        assert!(s.contains("(0.00 %)"), "display: {s}");
+        assert!(s.contains("[zonemap: 0 regions scanned, 4 pruned]"), "display: {s}");
+    }
+
+    #[test]
+    fn unpruned_runs_keep_the_historical_display_form() {
+        let r = dummy(Arch::Hipe, 10, 2);
+        assert!(!r.to_string().contains("zonemap"), "display: {r}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use hipe_cache::HierarchyConfig;
 use hipe_compiler::STOCK_HMC_OP;
 use hipe_cpu::CoreConfig;
 use hipe_db::scan::ScanResult;
-use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query};
+use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query, TableShape, ZoneMap};
 use hipe_hmc::{Hmc, HmcConfig};
 use hipe_logic::LogicConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +31,19 @@ pub struct SystemConfig {
     /// and cycle counts exactly; larger values (any divisor of the
     /// 32-vault sweep) scan the table with one engine per vault group.
     pub partitions: usize,
+    /// Value distribution of the generated table
+    /// ([`TableShape::Uniform`] is the paper's dbgen-shaped default;
+    /// [`TableShape::ClusteredShipdate`] sorts shipdate by row for the
+    /// zone-map skipping experiments).
+    pub shape: TableShape,
+    /// Compile scans against this system's [`ZoneMap`], dropping
+    /// regions whose min/max summaries prove the predicate
+    /// conjunction can't match. Off by default: the paper's figures
+    /// measure the full scan, and on a uniform table every region
+    /// spans the whole value domain anyway. The zone map itself is
+    /// always built (it's one cheap pass at construction); this flag
+    /// only controls whether the backends consult it.
+    pub pruning: bool,
     /// Out-of-order core parameters.
     pub core: CoreConfig,
     /// Cache hierarchy parameters.
@@ -52,6 +65,8 @@ impl SystemConfig {
             seed,
             row_offset: 0,
             partitions: 1,
+            shape: TableShape::Uniform,
+            pruning: false,
             core: CoreConfig::paper(),
             hierarchy: HierarchyConfig::paper(),
             hmc: HmcConfig::paper(),
@@ -87,6 +102,11 @@ pub struct System {
     cfg: SystemConfig,
     table: LineitemTable,
     layout: DsmLayout,
+    /// Per-region min/max/row-count summaries of `table`, built once
+    /// at construction. Consulted by the backends when
+    /// [`SystemConfig::pruning`] is set, and by `hipe-serve`'s scatter
+    /// path (via the table-level rollup) to skip whole shards.
+    zonemap: ZoneMap,
     mask_base: u64,
     image_len: usize,
     /// Times the table image was materialized into a cube (sessions
@@ -104,6 +124,7 @@ impl Clone for System {
             cfg: self.cfg.clone(),
             table: self.table.clone(),
             layout: self.layout,
+            zonemap: self.zonemap.clone(),
             mask_base: self.mask_base,
             image_len: self.image_len,
             materializations: AtomicU64::new(self.materializations.load(Ordering::Relaxed)),
@@ -148,7 +169,8 @@ impl System {
             "partitioned layouts require the cube's {} vaults",
             hipe_db::VAULTS
         );
-        let table = LineitemTable::generate_range(cfg.seed, cfg.row_offset, cfg.rows);
+        let table = LineitemTable::generate_shaped(cfg.seed, cfg.row_offset, cfg.rows, cfg.shape);
+        let zonemap = ZoneMap::build(&table);
         // The layout owns the whole image map: column arrays, then the
         // mask output area, then the aggregate partial-sum area (the
         // latter two are the session reset protocol's zeroed region).
@@ -161,6 +183,7 @@ impl System {
             cfg,
             table,
             layout,
+            zonemap,
             mask_base,
             image_len,
             materializations: AtomicU64::new(0),
@@ -201,6 +224,20 @@ impl System {
     /// The DSM layout of the table in cube memory.
     pub fn layout(&self) -> &DsmLayout {
         &self.layout
+    }
+
+    /// The table's zone map: per-region min/max/row-count summaries
+    /// plus the table-level rollup, built once at construction.
+    pub fn zonemap(&self) -> &ZoneMap {
+        &self.zonemap
+    }
+
+    /// The zone map, but only when [`SystemConfig::pruning`] asked the
+    /// backends to compile against it — this is the value every
+    /// `Backend::compile` hands to the lowering functions, so the flag
+    /// is honoured in exactly one place.
+    pub fn prune(&self) -> Option<&ZoneMap> {
+        self.cfg.pruning.then_some(&self.zonemap)
     }
 
     /// Base address of the match-mask output area.

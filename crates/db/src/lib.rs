@@ -41,11 +41,13 @@ mod lineitem;
 mod query;
 mod rng;
 pub mod scan;
+mod zonemap;
 
 pub use bitmask::{Bitmask, IterOnes};
 pub use layout::{
     DsmLayout, NsmLayout, COLUMN_BYTES, NSM_FIELDS, REGION_BYTES, REGION_ROWS, TUPLE_BYTES, VAULTS,
 };
-pub use lineitem::{Column, LineitemTable, SF1_ROWS};
+pub use lineitem::{Column, LineitemTable, TableShape, SF1_ROWS};
 pub use query::{CmpOp, ColumnPredicate, Query};
 pub use rng::SplitMix64;
+pub use zonemap::{PruneStats, RegionSummary, ZoneMap};

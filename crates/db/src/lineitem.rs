@@ -6,7 +6,7 @@ use crate::rng::SplitMix64;
 pub const SF1_ROWS: usize = 6_001_215;
 
 /// Days covered by lineitem ship dates (1992-01-02 .. 1998-12-31).
-const SHIPDATE_DAYS: i64 = 2557;
+pub(crate) const SHIPDATE_DAYS: i64 = 2557;
 
 /// Day index (since 1992-01-01) of 1994-01-01.
 pub(crate) const DAY_1994_01_01: i64 = 731;
@@ -94,10 +94,101 @@ pub struct LineitemTable {
 /// the constant must track the body of the generation loop.
 const DRAWS_PER_ROW: u64 = 4;
 
+/// How a generated table's values are laid out across the row space.
+///
+/// dbgen output is uniform everywhere, which is the worst case for
+/// zone-map pruning (every region's min/max spans the whole domain).
+/// Real warehouses are loaded in shipdate order, which is the best
+/// case: a range predicate touches one contiguous run of regions. The
+/// shape knob models both without changing selectivity — only the
+/// shipdate column differs, and a given date window selects the same
+/// fraction of rows under either shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableShape {
+    /// dbgen's documented distributions: every column uniform.
+    Uniform,
+    /// Rows arrive in shipdate order: row `i` of the `total_rows`-row
+    /// logical table ships on day `i * 2557 / total_rows`. All other
+    /// columns draw exactly the uniform shape's values (the uniform
+    /// shipdate draw is consumed and discarded so the RNG stream stays
+    /// aligned), and any contiguous row range of the clustered table
+    /// equals the corresponding slice of the monolithic clustered
+    /// table — the shard generator's contract holds for both shapes.
+    ClusteredShipdate {
+        /// Rows of the whole logical table (≥ the generated range's
+        /// end), which fixes the row → day mapping so shards agree.
+        total_rows: usize,
+    },
+}
+
 impl LineitemTable {
     /// Generates `rows` tuples deterministically from `seed`.
     pub fn generate(rows: usize, seed: u64) -> Self {
         LineitemTable::generate_range(seed, 0, rows)
+    }
+
+    /// Generates rows `first_row .. first_row + rows` under `shape` —
+    /// the shape-aware shard generator used by the system driver.
+    pub fn generate_shaped(seed: u64, first_row: usize, rows: usize, shape: TableShape) -> Self {
+        match shape {
+            TableShape::Uniform => LineitemTable::generate_range(seed, first_row, rows),
+            TableShape::ClusteredShipdate { total_rows } => {
+                LineitemTable::generate_clustered_range(seed, first_row, rows, total_rows)
+            }
+        }
+    }
+
+    /// Generates rows `first_row .. first_row + rows` of a
+    /// shipdate-clustered table (see [`TableShape::ClusteredShipdate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends past `total_rows`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hipe_db::{Column, LineitemTable};
+    /// let t = LineitemTable::generate_clustered_range(7, 0, 1000, 1000);
+    /// let d = t.column(Column::Shipdate);
+    /// assert!(d.windows(2).all(|w| w[0] <= w[1])); // sorted by row
+    /// ```
+    pub fn generate_clustered_range(
+        seed: u64,
+        first_row: usize,
+        rows: usize,
+        total_rows: usize,
+    ) -> Self {
+        assert!(
+            first_row + rows <= total_rows,
+            "row range {first_row}..{} exceeds the {total_rows}-row logical table",
+            first_row + rows
+        );
+        let mut rng = SplitMix64::new(seed);
+        rng.skip(first_row as u64 * DRAWS_PER_ROW);
+        let mut shipdate = Vec::with_capacity(rows);
+        let mut discount = Vec::with_capacity(rows);
+        let mut quantity = Vec::with_capacity(rows);
+        let mut extendedprice = Vec::with_capacity(rows);
+        for i in 0..rows {
+            // Draw-and-discard keeps the stream aligned with the
+            // uniform shape: every later column sees the same values.
+            let _ = rng.range_i64(0, SHIPDATE_DAYS - 1);
+            let global = (first_row + i) as u128;
+            shipdate.push((global * SHIPDATE_DAYS as u128 / total_rows as u128) as i64);
+            discount.push(rng.range_i64(0, 10));
+            let q = rng.range_i64(1, 50);
+            quantity.push(q);
+            let part_price = rng.range_i64(90_000, 111_000);
+            extendedprice.push(q * part_price);
+        }
+        LineitemTable {
+            shipdate,
+            discount,
+            quantity,
+            extendedprice,
+            seed,
+        }
     }
 
     /// Generates rows `first_row .. first_row + rows` of the table
@@ -247,6 +338,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn clustered_shards_slice_the_monolithic_clustered_table() {
+        let total = 257;
+        let whole = LineitemTable::generate_clustered_range(21, 0, total, total);
+        for (first, rows) in [(0, 257), (0, 1), (1, 17), (96, 64), (200, 57), (256, 1)] {
+            let shard = LineitemTable::generate_clustered_range(21, first, rows, total);
+            for c in Column::ALL {
+                assert_eq!(
+                    shard.column(c),
+                    &whole.column(c)[first..first + rows],
+                    "{c} rows {first}..{}",
+                    first + rows
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_differs_from_uniform_only_in_shipdate() {
+        let total = 300;
+        let uniform = LineitemTable::generate(total, 33);
+        let clustered =
+            LineitemTable::generate_clustered_range(33, 0, total, total);
+        for c in [Column::Discount, Column::Quantity, Column::ExtendedPrice] {
+            assert_eq!(uniform.column(c), clustered.column(c), "{c}");
+        }
+        let d = clustered.column(Column::Shipdate);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]), "shipdate not sorted");
+        assert_eq!(d[0], 0);
+        assert!(*d.last().unwrap() < SHIPDATE_DAYS);
+        assert_ne!(uniform.column(Column::Shipdate), d);
+    }
+
+    #[test]
+    fn generate_shaped_dispatches_both_shapes() {
+        let a = LineitemTable::generate_shaped(5, 10, 40, TableShape::Uniform);
+        let b = LineitemTable::generate_range(5, 10, 40);
+        assert_eq!(a.column(Column::Shipdate), b.column(Column::Shipdate));
+        let c = LineitemTable::generate_shaped(
+            5,
+            10,
+            40,
+            TableShape::ClusteredShipdate { total_rows: 100 },
+        );
+        let d = LineitemTable::generate_clustered_range(5, 10, 40, 100);
+        assert_eq!(c.column(Column::Shipdate), d.column(Column::Shipdate));
     }
 
     #[test]

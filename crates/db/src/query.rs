@@ -31,6 +31,35 @@ impl CmpOp {
             CmpOp::Range(lo, hi) => lo <= v && v <= hi,
         }
     }
+
+    /// Whether *any* value in the inclusive `[min, max]` interval can
+    /// satisfy the comparison — the zone-map pruning test. Exact on
+    /// the interval: `false` proves no value in `[min, max]` matches
+    /// (the region can be dropped from the emitted program), while
+    /// `true` only means a match is possible, not guaranteed.
+    pub fn may_match(self, min: i64, max: i64) -> bool {
+        debug_assert!(min <= max, "inverted summary interval {min}..{max}");
+        match self {
+            CmpOp::Lt(x) => min < x,
+            CmpOp::Le(x) => min <= x,
+            CmpOp::Gt(x) => max > x,
+            CmpOp::Ge(x) => max >= x,
+            CmpOp::Eq(x) => min <= x && x <= max,
+            CmpOp::Range(lo, hi) => min <= hi && max >= lo,
+        }
+    }
+
+    /// Whether the comparison can match any value at all. Only an
+    /// inverted [`CmpOp::Range`] (`lo > hi`) is statically
+    /// unsatisfiable; the compiler rejects such predicates with
+    /// `CompileError::PredicateUnsatisfiable` instead of emitting a
+    /// scan that provably returns nothing.
+    pub fn satisfiable(self) -> bool {
+        match self {
+            CmpOp::Range(lo, hi) => lo <= hi,
+            _ => true,
+        }
+    }
 }
 
 impl std::fmt::Display for CmpOp {
@@ -141,6 +170,26 @@ impl Query {
         )
     }
 
+    /// A shipdate-window scan with a selectivity knob: matches roughly
+    /// `permille`/1000 of the seven-year shipdate span. Unlike
+    /// [`quantity_below_permille`](Self::quantity_below_permille) the
+    /// selected rows are *contiguous* on a shipdate-clustered table
+    /// (`TableShape::ClusteredShipdate`), so region zone maps can
+    /// prune everything outside the window — the knob the data-skipping
+    /// benchmarks sweep. On a uniform table the same query selects the
+    /// same fraction of rows, just scattered (nothing prunes).
+    pub fn shipdate_window_permille(permille: u32) -> Self {
+        let width = ((permille as i64 * crate::lineitem::SHIPDATE_DAYS) / 1000).max(1);
+        let start = DAY_1994_01_01.min(crate::lineitem::SHIPDATE_DAYS - width);
+        Query::new(
+            vec![ColumnPredicate::new(
+                Column::Shipdate,
+                CmpOp::Range(start, start + width - 1),
+            )],
+            false,
+        )
+    }
+
     /// Adds the `SUM(l_extendedprice * l_discount)` aggregate to this
     /// query (builder-style), turning a counting scan into a Q6-shaped
     /// aggregate at the same selectivity — the knob the aggregate
@@ -212,6 +261,61 @@ mod tests {
         assert!(CmpOp::Range(2, 4).eval(2));
         assert!(CmpOp::Range(2, 4).eval(4));
         assert!(!CmpOp::Range(2, 4).eval(5));
+    }
+
+    #[test]
+    fn may_match_is_exact_on_intervals() {
+        // For every op, may_match(min, max) must equal "some v in
+        // [min, max] satisfies eval" — checked exhaustively on a small
+        // domain so the pruning test can never drop a matching region.
+        let ops = [
+            CmpOp::Lt(3),
+            CmpOp::Le(3),
+            CmpOp::Gt(3),
+            CmpOp::Ge(3),
+            CmpOp::Eq(3),
+            CmpOp::Range(2, 4),
+            CmpOp::Range(4, 4),
+        ];
+        for op in ops {
+            for min in -1..=7i64 {
+                for max in min..=7 {
+                    let truth = (min..=max).any(|v| op.eval(v));
+                    assert_eq!(
+                        op.may_match(min, max),
+                        truth,
+                        "{op:?} on [{min}, {max}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_range_is_unsatisfiable() {
+        assert!(!CmpOp::Range(5, 3).satisfiable());
+        assert!(CmpOp::Range(3, 3).satisfiable());
+        assert!(CmpOp::Lt(i64::MIN).satisfiable()); // matches nothing, but not statically
+    }
+
+    #[test]
+    fn shipdate_window_widths() {
+        // 100 permille of 2557 days is a 255-day window starting at
+        // the Q6 date; the full-scale window still fits the domain.
+        match Query::shipdate_window_permille(100).predicates()[0].cmp {
+            CmpOp::Range(lo, hi) => {
+                assert_eq!(lo, 731);
+                assert_eq!(hi - lo + 1, 255);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Query::shipdate_window_permille(1000).predicates()[0].cmp {
+            CmpOp::Range(lo, hi) => {
+                assert_eq!(lo, 0);
+                assert_eq!(hi, 2556);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The sharding layer: one query, N cube shards, combined answers.
 
-use hipe::{Arch, RunReport, Session, System, SystemConfig};
+use hipe::{Arch, RunReport, Session, System, SystemConfig, TableShape};
 use hipe_db::scan::ScanResult;
 use hipe_db::{Bitmask, Query};
 use hipe_sim::Cycle;
@@ -29,6 +29,18 @@ pub struct ClusterConfig {
     /// `LineitemTable::generate_range`), so replicas are bit-identical
     /// *by construction* — any replica can answer for its shard.
     pub replicas: usize,
+    /// Generate the logical table with shipdate clustered by row
+    /// ([`TableShape::ClusteredShipdate`] over the *cluster's* total
+    /// rows, so shard tables stay exact slices of the monolithic
+    /// clustered table). This is the shape under which shard zone-map
+    /// rollups become disjoint and data skipping has teeth.
+    pub clustered: bool,
+    /// Compile every shard's scans against its zone map and let the
+    /// scatter path skip shards whose table-level rollup proves no
+    /// region can match ([`ClusterSession::run`] synthesizes the exact
+    /// all-zero answer for them). Off by default — the historical
+    /// figures measure full scatter.
+    pub pruning: bool,
 }
 
 impl ClusterConfig {
@@ -41,6 +53,8 @@ impl ClusterConfig {
             shards,
             partitions: 1,
             replicas: 1,
+            clustered: false,
+            pruning: false,
         }
     }
 
@@ -49,6 +63,16 @@ impl ClusterConfig {
     pub fn replicated(rows: usize, seed: u64, shards: usize, replicas: usize) -> Self {
         ClusterConfig {
             replicas,
+            ..ClusterConfig::new(rows, seed, shards)
+        }
+    }
+
+    /// A shipdate-clustered cluster with zone-map pruning and shard
+    /// skipping enabled — the data-skipping experiment configuration.
+    pub fn skipping(rows: usize, seed: u64, shards: usize) -> Self {
+        ClusterConfig {
+            clustered: true,
+            pruning: true,
             ..ClusterConfig::new(rows, seed, shards)
         }
     }
@@ -191,6 +215,16 @@ impl Cluster {
             start += len;
         }
         debug_assert_eq!(start, cfg.rows);
+        // Shard shapes reference the *cluster's* row count, so every
+        // shard table is an exact slice of the monolithic table of the
+        // same shape (the db crate's slicing tests pin this).
+        let shape = if cfg.clustered {
+            TableShape::ClusteredShipdate {
+                total_rows: cfg.rows,
+            }
+        } else {
+            TableShape::Uniform
+        };
         let sets = bounds
             .iter()
             .map(|range| ReplicaSet {
@@ -201,6 +235,8 @@ impl Cluster {
                             rows: range.len(),
                             row_offset: range.start,
                             partitions: cfg.partitions,
+                            shape,
+                            pruning: cfg.pruning,
                             ..SystemConfig::paper(range.len(), cfg.seed)
                         })
                     })
@@ -349,13 +385,17 @@ impl<'a> ClusterSession<'a> {
     /// Scatters `query` to every shard's primary replica and gathers
     /// the combined [`ClusterReport`] — the unrouted scatter-gather
     /// path, unchanged by replication.
+    ///
+    /// With [`ClusterConfig::pruning`] set, a shard whose zone-map
+    /// table rollup proves no region can match is never dispatched at
+    /// all: its slot in the gather is the synthesized exact all-zero
+    /// answer ([`RunReport::skipped`]), it costs zero cycles, and the
+    /// host merge only pays for shards that actually answered. The
+    /// combined result is bit-identical either way — skipping is
+    /// sound because the rollup covers every row of the shard.
     pub fn run(&mut self, arch: Arch, query: &Query) -> ClusterReport {
-        let shard_reports: Vec<RunReport> = self
-            .sessions
-            .iter_mut()
-            .map(|replicas| replicas[0].run(arch, query))
-            .collect();
-        combine(self.cluster, arch, query, shard_reports)
+        let primaries = vec![0; self.sessions.len()];
+        self.run_routed(arch, query, &primaries)
     }
 
     /// Scatters `query` to exactly **one** replica of each shard —
@@ -363,7 +403,10 @@ impl<'a> ClusterSession<'a> {
     /// — and gathers the combined [`ClusterReport`]. Because replicas
     /// are bit-identical by construction, the result equals
     /// [`run`](Self::run) for every choice vector (the routing
-    /// equivalence tests assert it across architectures).
+    /// equivalence tests assert it across architectures). Zone-map
+    /// shard skipping applies exactly as in [`run`](Self::run) —
+    /// replicas share their shard's rollup, so the skip decision is
+    /// routing-independent.
     ///
     /// # Panics
     ///
@@ -380,6 +423,7 @@ impl<'a> ClusterSession<'a> {
             self.sessions.len(),
             "routing vector must name one replica per shard"
         );
+        let mut skipped = Vec::with_capacity(self.sessions.len());
         let shard_reports: Vec<RunReport> = self
             .sessions
             .iter_mut()
@@ -391,19 +435,37 @@ impl<'a> ClusterSession<'a> {
                     "replica {r} out of range (shard {s} has {} replicas)",
                     replicas.len()
                 );
-                replicas[r].run(arch, query)
+                let sys = replicas[r].system();
+                let skip = sys
+                    .prune()
+                    .is_some_and(|zm| !zm.table_may_match(query));
+                skipped.push(skip);
+                if skip {
+                    RunReport::skipped(
+                        arch,
+                        sys.config().rows,
+                        sys.layout().regions(),
+                        query.aggregates(),
+                    )
+                } else {
+                    replicas[r].run(arch, query)
+                }
             })
             .collect();
-        combine(self.cluster, arch, query, shard_reports)
+        combine(self.cluster, arch, query, shard_reports, skipped)
     }
 }
 
-/// Gathers shard answers into the cluster-level result.
+/// Gathers shard answers into the cluster-level result. `skipped[s]`
+/// marks shards the scatter path never dispatched (zone-map shard
+/// skipping): their synthesized all-zero reports still concatenate
+/// into the mask, but the host merge only pays for answering shards.
 fn combine(
     cluster: &Cluster,
     arch: Arch,
     query: &Query,
     shard_reports: Vec<RunReport>,
+    skipped: Vec<bool>,
 ) -> ClusterReport {
     let mut bitmask = Bitmask::zeros(cluster.rows());
     let mut matches = 0;
@@ -418,13 +480,17 @@ fn combine(
     }
     // The shards run concurrently (one host thread driving N cubes
     // over independent link sets), so the scan critical path is the
-    // slowest shard; the host then merges the N answers serially.
+    // slowest shard; the host then merges the answering shards'
+    // results serially (a skipped shard's answer is known to be zero
+    // without a merge step — its mask range stays the reset zeros).
+    let answering = skipped.iter().filter(|&&s| !s).count();
+    let merge = (answering.max(1) as Cycle - 1) * MERGE_CYCLES_PER_SHARD;
     let cycles = shard_reports
         .iter()
         .map(|r| r.cycles)
         .max()
         .expect("clusters have at least one shard")
-        + cluster.merge_cycles();
+        + merge;
     ClusterReport {
         arch,
         result: ScanResult {
@@ -433,6 +499,7 @@ fn combine(
             aggregate: query.aggregates().then_some(aggregate),
         },
         cycles,
+        skipped,
         shard_reports,
     }
 }
@@ -446,14 +513,26 @@ pub struct ClusterReport {
     /// concatenation, partial-sum addition).
     pub result: ScanResult,
     /// End-to-end cycles: the slowest shard plus the host-side merge
-    /// of shard answers (zero merge for a single shard, so a
-    /// one-shard cluster reports exactly the plain [`System`] cycles).
+    /// of answering shards (zero merge for a single answering shard,
+    /// so a one-shard cluster reports exactly the plain [`System`]
+    /// cycles).
     pub cycles: Cycle,
+    /// Per shard: `true` if the scatter path skipped it because its
+    /// zone-map rollup proved no region could match (its entry in
+    /// [`shard_reports`](Self::shard_reports) is the synthesized
+    /// [`RunReport::skipped`] zero report). All `false` without
+    /// [`ClusterConfig::pruning`].
+    pub skipped: Vec<bool>,
     /// The per-shard reports, in shard order.
     pub shard_reports: Vec<RunReport>,
 }
 
 impl ClusterReport {
+    /// How many shards the scatter path skipped outright.
+    pub fn shards_skipped(&self) -> usize {
+        self.skipped.iter().filter(|&&s| s).count()
+    }
+
     /// Fraction of tuples selected across the whole cluster.
     pub fn selectivity(&self) -> f64 {
         if self.result.bitmask.is_empty() {
@@ -616,6 +695,68 @@ mod tests {
     fn routing_vector_length_is_checked() {
         let c = Cluster::replicated(64, 0, 2, 2);
         let _ = c.session().run_routed(Arch::Hipe, &Query::q6(), &[0]);
+    }
+
+    #[test]
+    fn skipping_cluster_matches_full_scatter_and_skips_shards() {
+        // A narrow shipdate window over a clustered 4-shard cluster
+        // lands in one shard's day range; the rollups of the other
+        // three prove emptiness and the scatter path skips them.
+        let q = Query::shipdate_window_permille(100);
+        let skip = Cluster::with_config(ClusterConfig::skipping(4096, 7, 4));
+        let full = Cluster::with_config(ClusterConfig {
+            clustered: true,
+            ..ClusterConfig::new(4096, 7, 4)
+        });
+        let rs = skip.run(Arch::Hipe, &q);
+        let rf = full.run(Arch::Hipe, &q);
+        assert_eq!(rs.result, rf.result, "skipping changed the answer");
+        assert!(rs.result.matches > 0, "window should select something");
+        assert!(
+            rs.shards_skipped() >= 2,
+            "skipped only {:?}",
+            rs.skipped
+        );
+        assert_eq!(rf.shards_skipped(), 0);
+        // Skipped shards cost nothing and are excluded from the merge.
+        assert!(rs.cycles < rf.cycles);
+        for (s, skipped) in rs.skipped.iter().enumerate() {
+            let report = &rs.shard_reports[s];
+            if *skipped {
+                assert_eq!(report.cycles, 0);
+                assert_eq!(report.result.matches, 0);
+                assert_eq!(report.regions_scanned, 0);
+                assert!(report.regions_pruned > 0);
+            } else {
+                assert!(report.cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_is_routing_independent() {
+        let cfg = ClusterConfig {
+            replicas: 2,
+            ..ClusterConfig::skipping(2048, 11, 2)
+        };
+        let c = Cluster::with_config(cfg);
+        let q = Query::shipdate_window_permille(100);
+        let mut session = c.session();
+        let primary = session.run(Arch::Hipe, &q);
+        for picks in [[0, 0], [1, 1], [0, 1], [1, 0]] {
+            let routed = session.run_routed(Arch::Hipe, &q, &picks);
+            assert_eq!(routed.result, primary.result, "picks {picks:?}");
+            assert_eq!(routed.cycles, primary.cycles, "picks {picks:?}");
+            assert_eq!(routed.skipped, primary.skipped, "picks {picks:?}");
+        }
+    }
+
+    #[test]
+    fn unpruned_clusters_report_no_skips() {
+        let c = Cluster::new(256, 3, 2);
+        let r = c.run(Arch::Hipe, &Query::q6());
+        assert_eq!(r.shards_skipped(), 0);
+        assert_eq!(r.skipped, vec![false, false]);
     }
 
     #[test]

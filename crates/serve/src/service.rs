@@ -22,7 +22,7 @@
 //! sub-queries are detected and re-dispatched to a survivor (the
 //! fail-stop model of [`crate::fault`]).
 
-use crate::cluster::{Cluster, ClusterReport};
+use crate::cluster::{Cluster, ClusterReport, MERGE_CYCLES_PER_SHARD};
 use crate::fault::{self, FaultPlan};
 use crate::routing::{RouteCtx, Router, RoutingPolicy};
 use hipe::Arch;
@@ -378,7 +378,11 @@ struct Scheduler<'a> {
     /// Measured cycles of mix query `q` on replica `r` of shard `s`:
     /// `durations[q][s][r]`.
     durations: &'a [Vec<Vec<Cycle>>],
-    merge_cycles: Cycle,
+    /// `skipped[q][s]`: the profile pass found shard `s`'s zone-map
+    /// rollup prunes mix query `q` entirely — the scheduler never
+    /// scatters that sub-query (no replica occupancy, no merge share).
+    /// All `false` on unpruned clusters.
+    skipped: &'a [Vec<bool>],
     frontend: Server,
     replicas: Vec<Vec<Replica>>,
     router: Box<dyn Router>,
@@ -394,7 +398,12 @@ struct Scheduler<'a> {
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(cfg: &'a ServiceConfig, durations: &'a [Vec<Vec<Cycle>>], cluster: &Cluster) -> Self {
+    fn new(
+        cfg: &'a ServiceConfig,
+        durations: &'a [Vec<Vec<Cycle>>],
+        skipped: &'a [Vec<bool>],
+        cluster: &Cluster,
+    ) -> Self {
         // A closed loop can never fill a batch beyond its client pool;
         // capping avoids waiting for arrivals that cannot happen.
         let batch_cap = match cfg.load {
@@ -418,7 +427,7 @@ impl<'a> Scheduler<'a> {
         Scheduler {
             cfg,
             durations,
-            merge_cycles: cluster.merge_cycles(),
+            skipped,
             frontend: Server::new(),
             replicas,
             router: cfg.routing.router(),
@@ -477,15 +486,25 @@ impl<'a> Scheduler<'a> {
         let cost = self.cfg.batch_setup + self.cfg.per_query_dispatch * self.batch.len() as Cycle;
         let (_, scattered) = self.frontend.serve(ready, cost);
         // Scatter each member to exactly one replica of every shard
-        // (the router picks which); a replica serves one sub-query at
-        // a time, so members queue per replica in batch order.
+        // the query can touch (the router picks which replica); a
+        // replica serves one sub-query at a time, so members queue per
+        // replica in batch order. Shards the profile pass proved
+        // zone-map-skippable for this query are never scattered to —
+        // they add no occupancy and no merge share. A query every
+        // shard skips completes at the front end with zero merge.
         let mut served = Vec::with_capacity(self.batch.len());
         for p in std::mem::take(&mut self.batch) {
-            let slowest = (0..self.replicas.len())
-                .map(|s| self.route_and_serve(p.query, s, scattered))
+            let answering: Vec<usize> = (0..self.replicas.len())
+                .filter(|&s| !self.skipped[p.query][s])
+                .collect();
+            let merge =
+                (answering.len().max(1) as Cycle - 1) * MERGE_CYCLES_PER_SHARD;
+            let slowest = answering
+                .iter()
+                .map(|&s| self.route_and_serve(p.query, s, scattered))
                 .max()
-                .expect("clusters have at least one shard");
-            let completion = slowest + self.merge_cycles;
+                .unwrap_or(scattered);
+            let completion = slowest + merge;
             self.window.complete(completion);
             self.latencies.push(completion - p.arrival);
             self.makespan = self.makespan.max(completion);
@@ -615,6 +634,7 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     // and failover to re-pick — without changing the service answer.
     let mut session = cluster.session();
     let mut durations: Vec<Vec<Vec<Cycle>>> = Vec::with_capacity(cfg.mix.len());
+    let mut skipped: Vec<Vec<bool>> = Vec::with_capacity(cfg.mix.len());
     let mut answers: Vec<ScanResult> = Vec::with_capacity(cfg.mix.len());
     for (q, (query, _)) in cfg.mix.iter().enumerate() {
         // durations[q][s][r], built replica-major then transposed.
@@ -628,18 +648,22 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
             }
             match &reference {
                 None => reference = Some(report),
-                Some(reference) => assert_eq!(
-                    report.result, reference.result,
-                    "replica {r} disagrees with replica 0 on mix query {q}"
-                ),
+                Some(reference) => {
+                    assert_eq!(
+                        report.result, reference.result,
+                        "replica {r} disagrees with replica 0 on mix query {q}"
+                    );
+                    // Replicas share their shard's table, hence its
+                    // rollup — the skip decision cannot depend on
+                    // routing.
+                    debug_assert_eq!(report.skipped, reference.skipped);
+                }
             }
         }
         durations.push(per_shard);
-        answers.push(
-            reference
-                .expect("clusters have at least one replica")
-                .result,
-        );
+        let reference = reference.expect("clusters have at least one replica");
+        skipped.push(reference.skipped);
+        answers.push(reference.result);
     }
 
     let mut rng = SplitMix64::new(cfg.seed);
@@ -657,7 +681,7 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     // mix does not perturb the arrival schedule (and vice versa).
     let mut arrival_rng = SplitMix64::new(cfg.seed ^ 0xA441_7A15);
 
-    let mut sched = Scheduler::new(cfg, &durations, cluster);
+    let mut sched = Scheduler::new(cfg, &durations, &skipped, cluster);
     match cfg.load {
         LoadModel::Open { mean_interarrival } => {
             let mut now = 0;

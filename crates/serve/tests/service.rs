@@ -2,7 +2,7 @@
 
 use hipe::Arch;
 use hipe_db::Query;
-use hipe_serve::{run_service, Cluster, LoadModel, ServiceConfig};
+use hipe_serve::{run_service, Cluster, ClusterConfig, LoadModel, ServiceConfig};
 
 const SEED: u64 = 2018;
 
@@ -278,6 +278,40 @@ fn batching_delay_and_busy_components_reconstruct_total_latency() {
         2 * report.batching_delay + 2 * k * report.frontend_busy + (k + 1) * report.shard_busy[0],
         "latency does not decompose into batching + front-end + cube service"
     );
+}
+
+#[test]
+fn zonemap_shard_skipping_preserves_service_answers_and_frees_shards() {
+    // A narrow shipdate window over a clustered 4-shard cluster only
+    // touches one shard's day range; with pruning on, the scheduler
+    // never scatters the other shards' sub-queries.
+    let rows = 4096;
+    let window_mix = vec![(Query::shipdate_window_permille(100), 1)];
+    let skip = Cluster::with_config(ClusterConfig::skipping(rows, SEED, 4));
+    let full = Cluster::with_config(ClusterConfig {
+        clustered: true,
+        ..ClusterConfig::new(rows, SEED, 4)
+    });
+    let cfg = ServiceConfig::closed(Arch::Hipe, 32, window_mix, 4);
+    let skip_report = run_service(&skip, &cfg);
+    let full_report = run_service(&full, &cfg);
+    assert_eq!(skip_report.answers, full_report.answers);
+    assert_eq!(skip_report.answers_digest(), full_report.answers_digest());
+    assert!(
+        skip_report.makespan < full_report.makespan,
+        "skipping should shorten the run: {} >= {}",
+        skip_report.makespan,
+        full_report.makespan
+    );
+    // Skipped shards never see a sub-query; under full scatter every
+    // shard stays busy.
+    let idle = skip_report
+        .shard_busy
+        .iter()
+        .filter(|&&b| b == 0)
+        .count();
+    assert!(idle >= 2, "busy: {:?}", skip_report.shard_busy);
+    assert!(full_report.shard_busy.iter().all(|&b| b > 0));
 }
 
 #[test]

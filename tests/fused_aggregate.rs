@@ -154,7 +154,8 @@ fn fused_partials_match_per_region_reference_sums() {
     let sys = System::new(1000, 9);
     let q = Query::q6();
     let program =
-        hipe_compiler::lower_logic_aggregate(&q, sys.layout(), false).expect("valid aggregate");
+        hipe_compiler::lower_logic_aggregate(&q, sys.layout(), false, None)
+            .expect("valid aggregate");
     let mut session = sys.session();
     session.run(Arch::Hive, &q);
     let reference = scan::reference(sys.table(), &q);
