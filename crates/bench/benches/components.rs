@@ -14,6 +14,7 @@ use std::hint::black_box;
 const OPS: u64 = 1024;
 
 fn main() {
+    hipe_bench::print_header("components");
     println!("# simulation-kernel hot paths ({OPS} requests per iter)");
 
     hipe_bench::run("server_serve_stream", || {

@@ -39,6 +39,14 @@
 //! exceed the unpruned baseline and the ≤ 3 % rows to cut scan and
 //! dispatch completion by at least 1.5x.
 //!
+//! A fifth row (`host_par`) measures the *simulator itself*: the same
+//! four-arch batch and the same 4-shard cluster scatter run once on a
+//! 1-worker pool and once on a 4-worker pool, recording host
+//! wall-clock for both plus an FNV digest of every result — the
+//! digests must match exactly (parallel co-simulation is bit-identical
+//! to serial), and `check_figures` fails if the 4-worker runs are
+//! slower than the serial ones.
+//!
 //! Besides the human-readable table, all sweeps are written to
 //! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
 //! the performance trajectory of the simulator is machine-checkable
@@ -46,13 +54,18 @@
 //! `par_*` cycles fall monotonically with the engine count, `serve_*`
 //! throughput rises monotonically with the shard and replica count,
 //! and the `serve_fail` digests match their clean counterparts).
+//! Every row records its host wall-clock as `host_ms` — simulated
+//! cycles measure the modeled machines, `host_ms` measures the
+//! simulator.
 //!
 //! Run with `cargo bench -p hipe-bench --bench figures`; scale the
-//! table with `HIPE_BENCH_ROWS`.
+//! table with `HIPE_BENCH_ROWS` or `HIPE_BENCH_SF`, and fan the
+//! sweeps out over host threads with `HIPE_WORKERS`.
 
 use hipe::{Arch, RunReport, System, SystemConfig, TableShape};
 use hipe_db::Query;
 use hipe_serve::{run_service, Cluster, ClusterConfig, FaultPlan, ServiceConfig, ServiceReport};
+use hipe_sim::WorkerPool;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -65,11 +78,16 @@ const SERVE_QUERIES: usize = 96;
 /// every shard count in the sweep).
 const SERVE_CLIENTS: usize = 8;
 
+/// Worker width of the `host_par` speedup row's parallel leg (the
+/// serial leg always runs on 1 worker, whatever `HIPE_WORKERS` says).
+const HOST_PAR_WORKERS: usize = 4;
+
 fn main() {
+    hipe_bench::print_header("figures");
     let rows = hipe_bench::bench_rows();
+    let pool = WorkerPool::from_env();
     let sys = System::new(rows, SEED);
-    let mut session = sys.session();
-    println!("# four-machine select scan sweep, {rows} rows, one warm session");
+    println!("# four-machine select scan sweep, {rows} rows, one warm session per worker");
     println!(
         "{:<12} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>12}",
         "query",
@@ -81,7 +99,7 @@ fn main() {
         "speedup",
         "dramE",
         "linkE",
-        "sim_wall_ms"
+        "host_ms"
     );
 
     // Quantity is uniform in 1..=50, so achievable selectivities move
@@ -108,22 +126,33 @@ fn main() {
     points.push(("q6".to_string(), Query::q6()));
 
     let mut json_points = Vec::with_capacity(points.len());
-    for (name, query) in &points {
-        let start = Instant::now();
-        let reports: Vec<RunReport> = Arch::ALL
-            .iter()
-            .map(|&arch| session.run(arch, query))
-            .collect();
-        let wall = start.elapsed();
+    // Each worker opens its own warm session over the shared system
+    // (sessions are `Send`, the `System` is `Sync`); points fan out
+    // over the pool and gather in point order, so the table and JSON
+    // are identical at every worker width.
+    let sweep_results: Vec<(String, Query, Vec<RunReport>, f64)> = pool.run_with(
+        points,
+        || sys.session(),
+        |session, _, (name, query)| {
+            let start = Instant::now();
+            let reports: Vec<RunReport> = Arch::ALL
+                .iter()
+                .map(|&arch| session.run(arch, &query))
+                .collect();
+            let wall = start.elapsed();
+            for r in &reports {
+                assert_eq!(
+                    r.result.bitmask, reports[0].result.bitmask,
+                    "architectures diverged on {name}"
+                );
+            }
+            (name, query, reports, wall.as_secs_f64() * 1e3)
+        },
+    );
+    for (name, query, reports, wall_ms) in &sweep_results {
         let [base, hmc, hive, hipe] = &reports[..] else {
             unreachable!("one report per architecture");
         };
-        for r in &reports {
-            assert_eq!(
-                r.result.bitmask, base.result.bitmask,
-                "architectures diverged on {name}"
-            );
-        }
         println!(
             "{:<12} {:>6.2} {:>12} {:>12} {:>12} {:>12} {:>7.2}x {:>8.2} {:>8.2} {:>12.1}",
             name,
@@ -135,11 +164,18 @@ fn main() {
             hipe.speedup_over(base),
             hipe.energy.dram_pj() / base.energy.dram_pj(),
             hipe.energy.link_pj() / base.energy.link_pj(),
-            wall.as_secs_f64() * 1e3,
+            wall_ms,
         );
-        json_points.push(json_point(name, query, &reports, wall.as_secs_f64() * 1e3));
+        json_points.push(json_point(name, query, reports, *wall_ms));
     }
-    assert_eq!(sys.materializations(), 1, "the sweep re-materialized");
+    // One materialization per worker that actually ran a point — and
+    // exactly one on the historical serial path.
+    let mats = sys.materializations();
+    assert!(
+        (1..=pool.workers() as u64).contains(&mats),
+        "the sweep re-materialized ({mats} materializations, {} workers)",
+        pool.workers()
+    );
 
     // Partition sweep: Q6 on the logic machines with 1/2/4/8
     // vault-group engines. Only HIVE/HIPE appear in these rows — the
@@ -150,8 +186,10 @@ fn main() {
         "point", "hive_scan", "hive_cyc", "hipe_scan", "hipe_cyc", "speedup"
     );
     let q6 = Query::q6();
-    let mut hipe_scan_1 = 0;
-    for n in [1usize, 2, 4, 8] {
+    // One independent system per engine count: the four points fan out
+    // over the pool (each worker builds, materializes and runs its own
+    // cube) and gather in engine-count order.
+    let par_results: Vec<(usize, Vec<RunReport>, f64)> = pool.run(vec![1usize, 2, 4, 8], |_, n| {
         let psys = System::partitioned(rows, SEED, n);
         let start = Instant::now();
         let mut psession = psys.session();
@@ -160,17 +198,18 @@ fn main() {
             .map(|&arch| psession.run(arch, &q6))
             .collect();
         let wall = start.elapsed();
-        let [hive, hipe] = &reports[..] else {
-            unreachable!("one report per logic machine");
-        };
         assert_eq!(
-            hive.result.bitmask, hipe.result.bitmask,
+            reports[0].result.bitmask, reports[1].result.bitmask,
             "logic machines diverged at {n} partitions"
         );
         assert_eq!(psys.materializations(), 1);
-        if n == 1 {
-            hipe_scan_1 = hipe.phases.scan;
-        }
+        (n, reports, wall.as_secs_f64() * 1e3)
+    });
+    let hipe_scan_1 = par_results[0].1[1].phases.scan;
+    for (n, reports, wall_ms) in &par_results {
+        let [hive, hipe] = &reports[..] else {
+            unreachable!("one report per logic machine");
+        };
         let name = format!("par_{n}");
         println!(
             "{:<12} {:>12} {:>12} {:>12} {:>12} {:>7.2}x",
@@ -181,7 +220,7 @@ fn main() {
             hipe.cycles,
             hipe_scan_1 as f64 / hipe.phases.scan.max(1) as f64,
         );
-        json_points.push(json_point(&name, &q6, &reports, wall.as_secs_f64() * 1e3));
+        json_points.push(json_point(&name, &q6, reports, *wall_ms));
     }
 
     // Service sweep: the same saturating closed-loop load against 1,
@@ -193,7 +232,7 @@ fn main() {
     );
     println!(
         "{:<12} {:>8} {:>14} {:>10} {:>10} {:>10} {:>12}",
-        "point", "shards", "q_per_Gcyc", "p50", "p95", "p99", "sim_wall_ms"
+        "point", "shards", "q_per_Gcyc", "p50", "p95", "p99", "host_ms"
     );
     let mix = vec![
         (Query::q6(), 1),
@@ -324,7 +363,7 @@ fn main() {
     println!("# zone-map skip sweep (clustered shipdate, pruned vs unpruned)");
     println!(
         "{:<12} {:>6} {:>12} {:>12} {:>8} {:>10} {:>10} {:>12}",
-        "point", "sel%", "hipe_cyc", "base_cyc", "scan_x", "scanned", "pruned", "sim_wall_ms"
+        "point", "sel%", "hipe_cyc", "base_cyc", "scan_x", "scanned", "pruned", "host_ms"
     );
     let clustered = |pruning: bool| {
         let mut cfg = SystemConfig::paper(rows, SEED);
@@ -376,7 +415,11 @@ fn main() {
             wall.as_secs_f64() * 1e3,
         ));
     }
-    assert_eq!(pruned_sys.materializations(), 1, "the skip sweep re-materialized");
+    assert_eq!(
+        pruned_sys.materializations(),
+        1,
+        "the skip sweep re-materialized"
+    );
 
     // Serve skip row: the 3 % window fits inside one shard of the
     // 4-way clustered split, so the scatter path consults the shard
@@ -409,11 +452,100 @@ fn main() {
     json_points.push(format!(
         "    {{\n      \"name\": \"serve_skip\",\n      \"shards\": 4,\n      \
          \"shards_skipped\": {},\n      \"cycles\": {},\n      \"base_cycles\": {},\n      \
-         \"sim_wall_ms\": {:.3}\n    }}",
+         \"host_ms\": {:.3}\n    }}",
         skip_report.shards_skipped(),
         skip_report.cycles,
         full_report.cycles,
         wall.as_secs_f64() * 1e3,
+    ));
+
+    // Host-parallel speedup row: the same four-arch batch and the same
+    // 4-shard scatter, once on a 1-worker pool and once on a 4-worker
+    // pool. Simulated results must be bit-identical (the digests pin
+    // it, here and in check_figures); only host wall-clock may differ
+    // — and at 4 workers it must not be worse than serial.
+    println!("# host-parallel co-simulation ({HOST_PAR_WORKERS} workers vs serial)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>16} {:>18} {:>10}",
+        "point", "sweep_ser_ms", "sweep_par_ms", "scatter_ser_ms", "scatter_par_ms", "speedup"
+    );
+    let hp_queries = [Query::q6(), Query::quantity_below_permille(100)];
+    let sweep_leg = |workers: usize| -> (u64, f64) {
+        let leg_pool = WorkerPool::new(workers);
+        let jobs: Vec<(Arch, &Query)> = Arch::ALL
+            .iter()
+            .flat_map(|&arch| hp_queries.iter().map(move |q| (arch, q)))
+            .collect();
+        let start = Instant::now();
+        let reports = leg_pool.run_with(
+            jobs,
+            || sys.session(),
+            |session, _, (arch, query)| session.run(arch, query),
+        );
+        let wall = start.elapsed();
+        (digest_runs(&reports), wall.as_secs_f64() * 1e3)
+    };
+    let scatter_leg = |workers: usize| -> (u64, f64) {
+        let cluster = Cluster::with_config(ClusterConfig {
+            workers,
+            ..ClusterConfig::new(rows, SEED, 4)
+        });
+        let mut csession = cluster.session(); // warm: images built untimed
+        let start = Instant::now();
+        let reports: Vec<_> = Arch::ALL
+            .iter()
+            .map(|&arch| csession.run(arch, &q6))
+            .collect();
+        let wall = start.elapsed();
+        let mut digest = 0xcbf29ce484222325;
+        for r in &reports {
+            digest = fnv_mix(digest, r.cycles);
+            digest = fnv_mix(digest, r.result.matches as u64);
+            digest = fnv_mix(digest, r.result.aggregate.unwrap_or(0) as u64);
+            for &word in r.result.bitmask.words() {
+                digest = fnv_mix(digest, word);
+            }
+        }
+        (digest, wall.as_secs_f64() * 1e3)
+    };
+    let (sweep_ser_digest, sweep_ser_ms) = sweep_leg(1);
+    let (sweep_par_digest, sweep_par_ms) = sweep_leg(HOST_PAR_WORKERS);
+    assert_eq!(
+        sweep_ser_digest, sweep_par_digest,
+        "parallel sweep diverged from serial"
+    );
+    let (scatter_ser_digest, scatter_ser_ms) = scatter_leg(1);
+    let (scatter_par_digest, scatter_par_ms) = scatter_leg(HOST_PAR_WORKERS);
+    assert_eq!(
+        scatter_ser_digest, scatter_par_digest,
+        "parallel scatter diverged from serial"
+    );
+    println!(
+        "{:<12} {:>14.1} {:>16.1} {:>16.1} {:>18.1} {:>9.2}x",
+        "host_par",
+        sweep_ser_ms,
+        sweep_par_ms,
+        scatter_ser_ms,
+        scatter_par_ms,
+        (sweep_ser_ms + scatter_ser_ms) / (sweep_par_ms + scatter_par_ms).max(1e-9),
+    );
+    // Record the host's parallelism next to the timings: on a
+    // single-core runner the 4-worker leg cannot win wall-clock, so
+    // check_figures only enforces the speedup when host_cpus >= 2
+    // (digest equality is enforced unconditionally).
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    json_points.push(format!(
+        "    {{\n      \"name\": \"host_par\",\n      \"workers\": {HOST_PAR_WORKERS},\n      \
+         \"host_cpus\": {host_cpus},\n      \
+         \"sweep_serial_ms\": {sweep_ser_ms:.3},\n      \
+         \"sweep_parallel_ms\": {sweep_par_ms:.3},\n      \
+         \"scatter_serial_ms\": {scatter_ser_ms:.3},\n      \
+         \"scatter_parallel_ms\": {scatter_par_ms:.3},\n      \
+         \"digest_serial\": {},\n      \"digest_parallel\": {},\n      \
+         \"host_ms\": {:.3}\n    }}",
+        sweep_ser_digest ^ scatter_ser_digest,
+        sweep_par_digest ^ scatter_par_digest,
+        sweep_ser_ms + sweep_par_ms + scatter_ser_ms + scatter_par_ms,
     ));
 
     // Default next to the workspace root regardless of the bench CWD.
@@ -427,6 +559,33 @@ fn main() {
     }
 }
 
+/// One FNV-1a step over a 64-bit word.
+fn fnv_mix(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a digest over a batch of run reports: simulated cycles plus
+/// the full functional result (mask words, match count, aggregate).
+/// Equal digests mean the batches are bit-identical in everything the
+/// figures record.
+fn digest_runs(reports: &[RunReport]) -> u64 {
+    let mut h = 0xcbf29ce484222325;
+    for r in reports {
+        h = fnv_mix(h, r.cycles);
+        h = fnv_mix(h, r.result.matches as u64);
+        h = fnv_mix(h, r.result.aggregate.unwrap_or(0) as u64);
+        for &word in r.result.bitmask.words() {
+            h = fnv_mix(h, word);
+        }
+    }
+    h
+}
+
 /// Renders one sweep point as a JSON object (the build is offline, so
 /// the JSON is assembled by hand — every string interpolated below is
 /// ASCII without quotes or escapes).
@@ -436,7 +595,7 @@ fn json_point(name: &str, query: &Query, reports: &[RunReport], wall_ms: f64) ->
     write!(
         out,
         "    {{\n      \"name\": \"{name}\",\n      \"query\": \"{query}\",\n      \
-         \"selectivity\": {sel:.6},\n      \"sim_wall_ms\": {wall_ms:.3},\n      \"archs\": {{"
+         \"selectivity\": {sel:.6},\n      \"host_ms\": {wall_ms:.3},\n      \"archs\": {{"
     )
     .expect("writing to a String cannot fail");
     for (i, r) in reports.iter().enumerate() {
@@ -481,7 +640,7 @@ fn skip_json_point(
     write!(
         out,
         "    {{\n      \"name\": \"{name}\",\n      \"query\": \"{query}\",\n      \
-         \"selectivity\": {sel:.6},\n      \"sim_wall_ms\": {wall_ms:.3},\n      \"archs\": {{"
+         \"selectivity\": {sel:.6},\n      \"host_ms\": {wall_ms:.3},\n      \"archs\": {{"
     )
     .expect("writing to a String cannot fail");
     for (i, (p, u)) in pruned.iter().zip(full).enumerate() {
@@ -520,7 +679,7 @@ fn serve_json_point(name: &str, report: &ServiceReport, extra: &str, wall_ms: f6
          \"queries_per_gigacycle\": {},\n      \"p50_cycles\": {},\n      \
          \"p95_cycles\": {},\n      \"p99_cycles\": {},\n      \
          \"failovers\": {},\n      \"redispatched\": {},\n{extra}      \
-         \"sim_wall_ms\": {wall_ms:.3}\n    }}",
+         \"host_ms\": {wall_ms:.3}\n    }}",
         report.shards,
         report.replicas,
         report.queries,
@@ -539,7 +698,8 @@ fn render_json(rows: usize, points: &[String]) -> String {
     let archs: Vec<String> = Arch::ALL.iter().map(|a| format!("\"{a}\"")).collect();
     format!(
         "{{\n  \"bench\": \"figures\",\n  \"rows\": {rows},\n  \"seed\": {SEED},\n  \
-         \"archs\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+         \"workers\": {},\n  \"archs\": [{}],\n  \"points\": [\n{}\n  ]\n}}\n",
+        hipe_bench::bench_workers(),
         archs.join(", "),
         points.join(",\n")
     )

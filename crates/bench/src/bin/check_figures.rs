@@ -35,6 +35,16 @@
 //! one shard never scattered to, at no cycle cost over the full
 //! scatter — a data-skipping regression fails CI.
 //!
+//! Every point must also record its host wall-clock as a `host_ms`
+//! field — the simulator-speed trajectory is part of the schema — and
+//! the `host_par` row (the same four-arch batch and 4-shard scatter on
+//! a 1-worker and a 4-worker pool) must show equal result digests for
+//! both legs (parallel co-simulation is bit-identical to serial) and
+//! parallel legs no slower than the serial ones. The wall-clock half
+//! of that contract is only enforced when the recording host reported
+//! `host_cpus` ≥ 2 — a single-core runner cannot demonstrate a
+//! speedup, only determinism.
+//!
 //! Usage: run the `figures` bench first, then
 //! `cargo run -p hipe-bench --bin check_figures`. The file location
 //! follows the bench's convention: `HIPE_BENCH_JSON` if set, else
@@ -133,9 +143,10 @@ fn check(text: &str) -> Result<usize, String> {
     }
 
     for (name, block) in &blocks {
-        // Service-sweep points describe the scheduler, not per-arch
+        // Service-sweep points describe the scheduler and the
+        // host-parallel row describes the simulator, not per-arch
         // runs; their own fields are validated below.
-        if name.starts_with("serve_") {
+        if name.starts_with("serve_") || name == "host_par" {
             continue;
         }
         // Partition-sweep points carry only the logic machines.
@@ -321,8 +332,10 @@ fn check(text: &str) -> Result<usize, String> {
                     .ok_or_else(|| format!("point {wanted}: arch {arch} lacks base_scan_end"))?;
                 let dispatch = arch_field(block, arch, "dispatch_end")
                     .ok_or_else(|| format!("point {wanted}: arch {arch} lacks dispatch_end"))?;
-                let base_dispatch = arch_field(block, arch, "base_dispatch_end")
-                    .ok_or_else(|| format!("point {wanted}: arch {arch} lacks base_dispatch_end"))?;
+                let base_dispatch =
+                    arch_field(block, arch, "base_dispatch_end").ok_or_else(|| {
+                        format!("point {wanted}: arch {arch} lacks base_dispatch_end")
+                    })?;
                 if base_scan * 10 < scan * 15 || base_dispatch * 10 < dispatch * 15 {
                     return Err(format!(
                         "point {wanted}: {arch} skip win below 1.5x \
@@ -339,8 +352,8 @@ fn check(text: &str) -> Result<usize, String> {
         .iter()
         .find(|(name, _)| name == "serve_skip")
         .ok_or("shard-skipping point serve_skip missing")?;
-    let skipped = point_field(skip, "shards_skipped")
-        .ok_or("point serve_skip lacks shards_skipped")?;
+    let skipped =
+        point_field(skip, "shards_skipped").ok_or("point serve_skip lacks shards_skipped")?;
     if skipped == 0 {
         return Err("point serve_skip: the scatter path skipped no shards".into());
     }
@@ -352,6 +365,55 @@ fn check(text: &str) -> Result<usize, String> {
             "point serve_skip: shard skipping slower than the full scatter \
              ({base_cycles} -> {cycles} cycles)"
         ));
+    }
+
+    // Host wall-clock: every row must record how long the simulator
+    // itself took (the figures track simulated cycles *and* the cost
+    // of producing them).
+    for (name, block) in &blocks {
+        point_field(block, "host_ms")
+            .ok_or_else(|| format!("point {name} lacks host_ms (host wall-clock)"))?;
+    }
+
+    // Host-parallel speedup row: both legs must have produced
+    // bit-identical results (equal digests), and the 4-worker legs
+    // must not be slower than the serial ones (millisecond-integer
+    // comparison; the bench itself asserts the digests too). The
+    // wall-clock requirement only applies when the recording host had
+    // at least two CPUs — on a single-core runner the parallel leg
+    // cannot win and the comparison is pure scheduler noise.
+    let (_, par) = blocks
+        .iter()
+        .find(|(name, _)| name == "host_par")
+        .ok_or("host-parallel point host_par missing")?;
+    let workers = point_field(par, "workers").ok_or("point host_par lacks workers")?;
+    if workers < 2 {
+        return Err(format!(
+            "point host_par: parallel leg ran on {workers} worker(s)"
+        ));
+    }
+    let digest_serial =
+        point_field(par, "digest_serial").ok_or("point host_par lacks digest_serial")?;
+    let digest_parallel =
+        point_field(par, "digest_parallel").ok_or("point host_par lacks digest_parallel")?;
+    if digest_serial != digest_parallel {
+        return Err(format!(
+            "point host_par: parallel results diverged from serial \
+             (digest {digest_serial} vs {digest_parallel})"
+        ));
+    }
+    let host_cpus = point_field(par, "host_cpus").ok_or("point host_par lacks host_cpus")?;
+    for leg in ["sweep", "scatter"] {
+        let serial = point_field(par, &format!("{leg}_serial_ms"))
+            .ok_or_else(|| format!("point host_par lacks {leg}_serial_ms"))?;
+        let parallel = point_field(par, &format!("{leg}_parallel_ms"))
+            .ok_or_else(|| format!("point host_par lacks {leg}_parallel_ms"))?;
+        if host_cpus >= 2 && parallel > serial {
+            return Err(format!(
+                "point host_par: {leg} slower on {workers} workers than serial \
+                 ({serial} ms -> {parallel} ms)"
+            ));
+        }
     }
     Ok(blocks.len())
 }
@@ -410,7 +472,7 @@ mod tests {
             })
             .collect();
         format!(
-            "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+            "{{\"name\": \"{name}\", \"host_ms\": 12.500, \"archs\": {{{}}}}}",
             archs.join(", ")
         )
     }
@@ -427,7 +489,7 @@ mod tests {
             })
             .collect();
         format!(
-            "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+            "{{\"name\": \"{name}\", \"host_ms\": 8.125, \"archs\": {{{}}}}}",
             archs.join(", ")
         )
     }
@@ -437,7 +499,7 @@ mod tests {
             "{{\"name\": \"{name}\", \"shards\": 1, \"replicas\": {replicas}, \
              \"queries\": 96, \"makespan_cycles\": 1000, \"queries_per_gigacycle\": {qpgc}, \
              \"p50_cycles\": {p50}, \"p95_cycles\": {p95}, \"p99_cycles\": {p99}, \
-             \"failovers\": 0, \"redispatched\": 0}}"
+             \"failovers\": 0, \"redispatched\": 0, \"host_ms\": 20.000}}"
         )
     }
 
@@ -453,7 +515,8 @@ mod tests {
             "{{\"name\": \"serve_fail\", \"shards\": 4, \"replicas\": 2, \
              \"queries\": {queries}, \"makespan_cycles\": 1000, \
              \"queries_per_gigacycle\": 700, \"p50_cycles\": 100, \"p95_cycles\": 200, \
-             \"p99_cycles\": 300, \"failovers\": {failovers}, \"redispatched\": 6, {}}}",
+             \"p99_cycles\": 300, \"failovers\": {failovers}, \"redispatched\": 6, \
+             \"host_ms\": 31.000, {}}}",
             digests.join(", ")
         )
     }
@@ -473,7 +536,7 @@ mod tests {
             })
             .collect();
         format!(
-            "{{\"name\": \"{name}\", \"archs\": {{{}}}}}",
+            "{{\"name\": \"{name}\", \"host_ms\": 6.250, \"archs\": {{{}}}}}",
             archs.join(", ")
         )
     }
@@ -481,7 +544,17 @@ mod tests {
     fn serve_skip_point(skipped: u64, cycles: u64, base: u64) -> String {
         format!(
             "{{\"name\": \"serve_skip\", \"shards\": 4, \"shards_skipped\": {skipped}, \
-             \"cycles\": {cycles}, \"base_cycles\": {base}}}"
+             \"cycles\": {cycles}, \"base_cycles\": {base}, \"host_ms\": 4.750}}"
+        )
+    }
+
+    fn host_par_point(sweep: (u64, u64), scatter: (u64, u64), digests: (u64, u64)) -> String {
+        format!(
+            "{{\"name\": \"host_par\", \"workers\": 4, \"host_cpus\": 8, \
+             \"sweep_serial_ms\": {}.210, \"sweep_parallel_ms\": {}.125, \
+             \"scatter_serial_ms\": {}.300, \"scatter_parallel_ms\": {}.400, \
+             \"digest_serial\": {}, \"digest_parallel\": {}, \"host_ms\": 99.000}}",
+            sweep.0, sweep.1, scatter.0, scatter.1, digests.0, digests.1
         )
     }
 
@@ -507,6 +580,7 @@ mod tests {
         points.push(skip_point("skip_3%", 20, 200));
         points.push(skip_point("skip_10%", 60, 100));
         points.push(serve_skip_point(3, 40, 90));
+        points.push(host_par_point((100, 30), (80, 25), (42, 42)));
         format!(
             "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
              \"points\": [{}]}}",
@@ -524,7 +598,79 @@ mod tests {
 
     #[test]
     fn accepts_a_complete_document() {
-        assert_eq!(check(&doc(10)), Ok(18));
+        assert_eq!(check(&doc(10)), Ok(19));
+    }
+
+    #[test]
+    fn rejects_a_point_without_host_wall_clock() {
+        // serve_skip's host_ms is uniquely valued in the fixture.
+        let text = doc(10).replace(", \"host_ms\": 4.750", "");
+        let err = check(&text).unwrap_err();
+        assert!(
+            err.contains("serve_skip") && err.contains("host_ms"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_missing_host_par_row() {
+        // Renamed to a serve_-prefixed point so only the host_par
+        // presence check can fire.
+        let text = doc(10).replace("\"name\": \"host_par\"", "\"name\": \"serve_extra\"");
+        assert!(check(&text).unwrap_err().contains("host_par missing"));
+    }
+
+    #[test]
+    fn rejects_parallel_results_diverging_from_serial() {
+        let text = doc(10).replace("\"digest_parallel\": 42", "\"digest_parallel\": 43");
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("diverged from serial"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_parallel_sweep_slower_than_serial() {
+        let text = doc(10).replace(
+            "\"sweep_parallel_ms\": 30.125",
+            "\"sweep_parallel_ms\": 101.125",
+        );
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("sweep slower on 4 workers"), "{err}");
+        let text = doc(10).replace(
+            "\"scatter_parallel_ms\": 25.400",
+            "\"scatter_parallel_ms\": 81.400",
+        );
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("scatter slower on 4 workers"), "{err}");
+    }
+
+    #[test]
+    fn accepts_a_slow_parallel_leg_on_a_single_core_host() {
+        // One recording CPU: the wall-clock requirement is waived
+        // (the digests still must match).
+        let text = doc(10)
+            .replace("\"host_cpus\": 8", "\"host_cpus\": 1")
+            .replace(
+                "\"sweep_parallel_ms\": 30.125",
+                "\"sweep_parallel_ms\": 101.125",
+            );
+        assert_eq!(check(&text), Ok(19));
+    }
+
+    #[test]
+    fn rejects_a_host_par_row_without_host_cpus() {
+        let text = doc(10).replace("\"host_cpus\": 8, ", "");
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("host_cpus"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_serial_host_par_leg() {
+        let text = doc(10).replace(
+            "\"name\": \"host_par\", \"workers\": 4",
+            "\"name\": \"host_par\", \"workers\": 1",
+        );
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("1 worker"), "{err}");
     }
 
     #[test]
@@ -660,13 +806,9 @@ mod tests {
     fn rejects_pruning_costing_cycles() {
         // skip_10% carries base 100; dropping the baseline below the
         // pruned run's 60 cycles means pruning made the machine slower.
-        let text = doc(10)
-            .replace("\"base_cycles\": 100", "\"base_cycles\": 40");
+        let text = doc(10).replace("\"base_cycles\": 100", "\"base_cycles\": 40");
         let err = check(&text).unwrap_err();
-        assert!(
-            err.contains("skip_10%") && err.contains("slower"),
-            "{err}"
-        );
+        assert!(err.contains("skip_10%") && err.contains("slower"), "{err}");
     }
 
     #[test]

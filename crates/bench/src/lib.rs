@@ -12,8 +12,14 @@
 //!   milliseconds (default 100);
 //! * `HIPE_BENCH_ROWS` — table size for the figure sweeps (default
 //!   16384, kept small so the targets also double as smoke tests under
-//!   `cargo test`).
+//!   `cargo test`);
+//! * `HIPE_BENCH_SF` — table size as a TPC-H scale factor (may be
+//!   fractional; `1` is the paper's 6M-row setup). Takes precedence
+//!   over `HIPE_BENCH_ROWS` when both are set;
+//! * `HIPE_WORKERS` — host worker threads for the parallel sweeps and
+//!   cluster scatter phases (default 1, fully serial).
 
+use hipe_db::SF1_ROWS;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -56,14 +62,50 @@ pub fn target_duration() -> Duration {
     Duration::from_millis(ms)
 }
 
-/// Table size for the figure sweeps (`HIPE_BENCH_ROWS`, default 16384,
-/// clamped to at least 1 tuple).
+/// Scale factor requested via `HIPE_BENCH_SF`, if any. Fractional
+/// values are allowed (`0.25` is a quarter of SF-1's 6M rows).
+pub fn bench_sf() -> Option<f64> {
+    std::env::var("HIPE_BENCH_SF")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|sf| sf.is_finite() && *sf > 0.0)
+}
+
+/// Table size for the figure sweeps: `HIPE_BENCH_SF` (as a TPC-H scale
+/// factor over the 6 001 215-row SF-1 table) when set, else
+/// `HIPE_BENCH_ROWS` (default 16384), clamped to at least 1 tuple.
 pub fn bench_rows() -> usize {
+    if let Some(sf) = bench_sf() {
+        return rows_at_sf(sf);
+    }
     std::env::var("HIPE_BENCH_ROWS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(16_384)
         .max(1)
+}
+
+/// Rows of a TPC-H lineitem table at scale factor `sf` (≥ 1 tuple).
+pub fn rows_at_sf(sf: f64) -> usize {
+    ((SF1_ROWS as f64 * sf).round() as usize).max(1)
+}
+
+/// Host worker threads for the parallel sweeps (`HIPE_WORKERS`,
+/// default 1 — fully serial, the byte-identical historical path).
+pub fn bench_workers() -> usize {
+    hipe_sim::env_workers()
+}
+
+/// Prints the standard bench header: which target is running and the
+/// resolved row count / scale factor / worker width, so every recorded
+/// run documents its configuration.
+pub fn print_header(target: &str) {
+    let rows = bench_rows();
+    println!(
+        "# {target}: rows={rows} (SF {:.4}), workers={}",
+        rows as f64 / SF1_ROWS as f64,
+        bench_workers()
+    );
 }
 
 /// Runs `f` repeatedly for at least `target`, growing the iteration
@@ -122,8 +164,21 @@ mod tests {
         if std::env::var("HIPE_BENCH_MS").is_err() {
             assert_eq!(target_duration(), Duration::from_millis(100));
         }
-        if std::env::var("HIPE_BENCH_ROWS").is_err() {
+        if std::env::var("HIPE_BENCH_ROWS").is_err() && std::env::var("HIPE_BENCH_SF").is_err() {
             assert_eq!(bench_rows(), 16_384);
         }
+        if std::env::var("HIPE_BENCH_SF").is_err() {
+            assert_eq!(bench_sf(), None);
+        }
+        assert!(bench_workers() >= 1);
+    }
+
+    #[test]
+    fn scale_factor_row_counts() {
+        assert_eq!(rows_at_sf(1.0), SF1_ROWS);
+        assert_eq!(rows_at_sf(10.0), 10 * SF1_ROWS);
+        assert_eq!(rows_at_sf(1e-12), 1, "tiny SF clamps to one tuple");
+        // A quarter SF rounds to the nearest tuple.
+        assert_eq!(rows_at_sf(0.25), (SF1_ROWS as f64 * 0.25).round() as usize);
     }
 }

@@ -194,8 +194,8 @@ mod tests {
     #[test]
     fn stock_ops_cover_whole_column_in_16_byte_chunks() {
         let layout = DsmLayout::new(0, 1024);
-        let (ops, _) =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
+        let (ops, _) = lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None)
+            .expect("non-empty layout");
         let d = dispatches(&ops);
         // 1024 rows x 8 B / 16 B chunks.
         assert_eq!(d.len(), 512);
@@ -227,8 +227,8 @@ mod tests {
     fn mask_words_are_stored_every_64_rows() {
         // 100 rows = 4 regions = 2 packed words.
         let layout = DsmLayout::new(0, 100);
-        let (ops, _) =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
+        let (ops, _) = lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None)
+            .expect("non-empty layout");
         let stores: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o.kind {
@@ -244,8 +244,8 @@ mod tests {
         // 96 rows = 3 regions: word 0 after region 1, word 1 after the
         // unpaired region 2.
         let layout = DsmLayout::new(0, 96);
-        let (ops, _) =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
+        let (ops, _) = lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None)
+            .expect("non-empty layout");
         let stores = ops
             .iter()
             .filter(|o| matches!(o.kind, MicroOpKind::Store { .. }))
@@ -270,18 +270,26 @@ mod tests {
     fn wider_ops_shrink_the_dispatch_stream() {
         let layout = DsmLayout::new(0, 4096);
         let q = one_pred_query();
-        let stock =
-            dispatches(&lower_hmc_scan(&q, &layout, STOCK_HMC_OP, None).expect("non-empty").0).len();
-        let max =
-            dispatches(&lower_hmc_scan(&q, &layout, OpSize::MAX, None).expect("non-empty").0).len();
+        let stock = dispatches(
+            &lower_hmc_scan(&q, &layout, STOCK_HMC_OP, None)
+                .expect("non-empty")
+                .0,
+        )
+        .len();
+        let max = dispatches(
+            &lower_hmc_scan(&q, &layout, OpSize::MAX, None)
+                .expect("non-empty")
+                .0,
+        )
+        .len();
         assert_eq!(stock, 16 * max);
     }
 
     #[test]
     fn branches_are_predicted() {
         let layout = DsmLayout::new(0, 256);
-        let (ops, _) =
-            lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None).expect("non-empty layout");
+        let (ops, _) = lower_hmc_scan(&one_pred_query(), &layout, STOCK_HMC_OP, None)
+            .expect("non-empty layout");
         assert!(ops
             .iter()
             .all(|o| !matches!(o.kind, MicroOpKind::Branch { mispredict: true })));
@@ -346,10 +354,7 @@ mod tests {
         let zm = hipe_db::ZoneMap::build(&t);
         let layout = DsmLayout::new(0, total / 2);
         let q = Query::new(
-            vec![ColumnPredicate::new(
-                Column::Shipdate,
-                CmpOp::Range(0, 50),
-            )],
+            vec![ColumnPredicate::new(Column::Shipdate, CmpOp::Range(0, 50))],
             false,
         );
         let (ops, stats) =

@@ -270,10 +270,7 @@ mod tests {
         let zm = hipe_db::ZoneMap::build(&t);
         let layout = DsmLayout::new(0, total / 2);
         let q = Query::new(
-            vec![ColumnPredicate::new(
-                Column::Shipdate,
-                CmpOp::Range(0, 50),
-            )],
+            vec![ColumnPredicate::new(Column::Shipdate, CmpOp::Range(0, 50))],
             false,
         );
         let (ops, stats) = lower_host_scan(&q, &layout, Some(&zm)).expect("empty is valid");

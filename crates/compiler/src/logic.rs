@@ -713,7 +713,8 @@ mod tests {
     #[test]
     fn aggregate_tail_loads_price_and_discount_columns() {
         let layout = DsmLayout::new(0, 32);
-        let prog = lower_logic_aggregate(&Query::q6(), &layout, false, None).expect("valid aggregate");
+        let prog =
+            lower_logic_aggregate(&Query::q6(), &layout, false, None).expect("valid aggregate");
         let loads: Vec<u64> = prog
             .iter_instrs()
             .filter_map(|i| match i {
@@ -801,7 +802,8 @@ mod tests {
     fn empty_partitions_get_empty_programs() {
         // 64 rows = 2 regions, both in partition 0 of 8.
         let layout = DsmLayout::partitioned(0, 64, 8);
-        let prog = lower_logic_scan(&one_pred_query(), &layout, true, None).expect("non-empty layout");
+        let prog =
+            lower_logic_scan(&one_pred_query(), &layout, true, None).expect("non-empty layout");
         assert_eq!(prog.partitions(), 8);
         assert!(!prog.programs()[0].is_empty());
         for lp in &prog.programs()[1..] {
@@ -914,10 +916,7 @@ mod tests {
         let zm = hipe_db::ZoneMap::build(&t);
         let layout = DsmLayout::new(0, total / 2);
         let q = Query::new(
-            vec![ColumnPredicate::new(
-                Column::Shipdate,
-                CmpOp::Range(0, 100),
-            )],
+            vec![ColumnPredicate::new(Column::Shipdate, CmpOp::Range(0, 100))],
             false,
         );
         let prog = lower_logic_scan(&q, &layout, true, Some(&zm)).expect("empty is valid");

@@ -188,7 +188,7 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} cycles, {} / {} tuples ({:.2} %), energy {}",
+            "{}: {} cyc, {} / {} tuples ({:.2} %), energy {}",
             self.arch,
             self.cycles,
             self.result.matches,
@@ -290,7 +290,10 @@ mod tests {
         assert!(!r.selectivity().is_nan());
         let s = r.to_string();
         assert!(s.contains("(0.00 %)"), "display: {s}");
-        assert!(s.contains("[zonemap: 0 regions scanned, 4 pruned]"), "display: {s}");
+        assert!(
+            s.contains("[zonemap: 0 regions scanned, 4 pruned]"),
+            "display: {s}"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::system::System;
 use hipe_db::Query;
 use hipe_hmc::Hmc;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A warm execution context over one [`System`].
 ///
@@ -44,8 +44,24 @@ pub struct Session<'a> {
     /// compile once, not per run ([`System::compilations`] counts).
     /// Keyed arch-first so the hot hit path looks up by `&Query`
     /// without cloning it.
-    plans: HashMap<Arch, HashMap<Query, Rc<ExecutablePlan>>>,
+    plans: HashMap<Arch, HashMap<Query, Arc<ExecutablePlan>>>,
 }
+
+// Compile-time guard for host-parallel co-simulation: a `System` must
+// be shareable across worker threads and a `Session` movable onto one.
+// If a future change smuggles in `Rc`, `RefCell` or a raw pointer,
+// this fails to build instead of failing at a distant spawn site.
+const _: () = {
+    fn _assert_send<T: Send>() {}
+    fn _assert_sync<T: Sync>() {}
+    fn _guards() {
+        _assert_send::<System>();
+        _assert_sync::<System>();
+        _assert_send::<Session<'_>>();
+        _assert_send::<Arc<ExecutablePlan>>();
+        _assert_sync::<ExecutablePlan>();
+    }
+};
 
 impl<'a> Session<'a> {
     /// Creates a session, materializing the table image (the one
@@ -107,11 +123,11 @@ impl<'a> Session<'a> {
 
     /// The session's cached plan for `(arch, query)`, compiling it on
     /// first use.
-    pub fn plan(&mut self, arch: Arch, query: &Query) -> Rc<ExecutablePlan> {
+    pub fn plan(&mut self, arch: Arch, query: &Query) -> Arc<ExecutablePlan> {
         if let Some(plan) = self.plans.get(&arch).and_then(|m| m.get(query)) {
-            return Rc::clone(plan);
+            return Arc::clone(plan);
         }
-        let plan = Rc::new(
+        let plan = Arc::new(
             System::backend(arch)
                 .compile(self.sys, query)
                 .expect("queries over a live system always compile"),
@@ -119,7 +135,7 @@ impl<'a> Session<'a> {
         self.plans
             .entry(arch)
             .or_default()
-            .insert(query.clone(), Rc::clone(&plan));
+            .insert(query.clone(), Arc::clone(&plan));
         plan
     }
 

@@ -1,6 +1,7 @@
 //! Synthetic TPC-H lineitem generation.
 
 use crate::rng::SplitMix64;
+use hipe_sim::WorkerPool;
 
 /// Rows of lineitem at TPC-H scale factor 1 (the paper's 1 GB setup).
 pub const SF1_ROWS: usize = 6_001_215;
@@ -94,6 +95,54 @@ pub struct LineitemTable {
 /// the constant must track the body of the generation loop.
 const DRAWS_PER_ROW: u64 = 4;
 
+/// Below this many rows, generation stays on the calling thread even
+/// when a wider [`WorkerPool`] is available: the table is too small for
+/// fan-out to beat thread startup. (The output is identical either way
+/// — the threshold only moves host time.)
+const PARALLEL_MIN_ROWS: usize = 65_536;
+
+/// One worker's contiguous slice of the columns being generated. The
+/// O(1) SplitMix64 stream jump lets each chunk start its own RNG at
+/// exactly the draw the monolithic generator would have reached, so
+/// chunks are order-free and the filled table is bit-identical to a
+/// serial fill.
+struct Chunk<'a> {
+    /// Global row index of the chunk's first row.
+    first_row: usize,
+    shipdate: &'a mut [i64],
+    discount: &'a mut [i64],
+    quantity: &'a mut [i64],
+    extendedprice: &'a mut [i64],
+}
+
+/// Fills one chunk by replaying the monolithic draw stream from
+/// `chunk.first_row`. This is the *only* generation loop — the serial
+/// path is a single chunk spanning the whole table, so parallel and
+/// serial output agree byte for byte by construction.
+fn fill_chunk(seed: u64, shape: TableShape, chunk: Chunk<'_>) {
+    let mut rng = SplitMix64::new(seed);
+    rng.skip(chunk.first_row as u64 * DRAWS_PER_ROW);
+    for i in 0..chunk.shipdate.len() {
+        match shape {
+            TableShape::Uniform => chunk.shipdate[i] = rng.range_i64(0, SHIPDATE_DAYS - 1),
+            TableShape::ClusteredShipdate { total_rows } => {
+                // Draw-and-discard keeps the stream aligned with the
+                // uniform shape: every later column sees the same values.
+                let _ = rng.range_i64(0, SHIPDATE_DAYS - 1);
+                let global = (chunk.first_row + i) as u128;
+                chunk.shipdate[i] = (global * SHIPDATE_DAYS as u128 / total_rows as u128) as i64;
+            }
+        }
+        chunk.discount[i] = rng.range_i64(0, 10);
+        let q = rng.range_i64(1, 50);
+        chunk.quantity[i] = q;
+        // dbgen: extendedprice = quantity * part retail price;
+        // retail prices are ~90k..111k cents.
+        let part_price = rng.range_i64(90_000, 111_000);
+        chunk.extendedprice[i] = q * part_price;
+    }
+}
+
 /// How a generated table's values are laid out across the row space.
 ///
 /// dbgen output is uniform everywhere, which is the worst case for
@@ -129,12 +178,69 @@ impl LineitemTable {
 
     /// Generates rows `first_row .. first_row + rows` under `shape` —
     /// the shape-aware shard generator used by the system driver.
+    ///
+    /// Materialization fans out over the `HIPE_WORKERS` pool when the
+    /// range is large enough to pay for it; see
+    /// [`generate_shaped_on`](Self::generate_shaped_on) for the
+    /// explicit-pool variant and the bit-identity contract.
     pub fn generate_shaped(seed: u64, first_row: usize, rows: usize, shape: TableShape) -> Self {
-        match shape {
-            TableShape::Uniform => LineitemTable::generate_range(seed, first_row, rows),
-            TableShape::ClusteredShipdate { total_rows } => {
-                LineitemTable::generate_clustered_range(seed, first_row, rows, total_rows)
-            }
+        LineitemTable::generate_shaped_on(&WorkerPool::from_env(), seed, first_row, rows, shape)
+    }
+
+    /// [`generate_shaped`](Self::generate_shaped) on an explicit
+    /// [`WorkerPool`]: the row range is cut into one contiguous chunk
+    /// per worker and each chunk's RNG is jumped (O(1)) to its first
+    /// draw, so the result is bit-identical to the serial fill for
+    /// every pool width — the tests compare them value for value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is [`TableShape::ClusteredShipdate`] and the
+    /// range extends past its `total_rows`.
+    pub fn generate_shaped_on(
+        pool: &WorkerPool,
+        seed: u64,
+        first_row: usize,
+        rows: usize,
+        shape: TableShape,
+    ) -> Self {
+        if let TableShape::ClusteredShipdate { total_rows } = shape {
+            assert!(
+                first_row + rows <= total_rows,
+                "row range {first_row}..{} exceeds the {total_rows}-row logical table",
+                first_row + rows
+            );
+        }
+        let mut shipdate = vec![0i64; rows];
+        let mut discount = vec![0i64; rows];
+        let mut quantity = vec![0i64; rows];
+        let mut extendedprice = vec![0i64; rows];
+        let chunk_rows = if pool.workers() <= 1 || rows < PARALLEL_MIN_ROWS {
+            rows.max(1)
+        } else {
+            rows.div_ceil(pool.workers())
+        };
+        let chunks: Vec<Chunk<'_>> = shipdate
+            .chunks_mut(chunk_rows)
+            .zip(discount.chunks_mut(chunk_rows))
+            .zip(quantity.chunks_mut(chunk_rows))
+            .zip(extendedprice.chunks_mut(chunk_rows))
+            .enumerate()
+            .map(|(i, (((s, d), q), p))| Chunk {
+                first_row: first_row + i * chunk_rows,
+                shipdate: s,
+                discount: d,
+                quantity: q,
+                extendedprice: p,
+            })
+            .collect();
+        pool.run(chunks, |_, chunk| fill_chunk(seed, shape, chunk));
+        LineitemTable {
+            shipdate,
+            discount,
+            quantity,
+            extendedprice,
+            seed,
         }
     }
 
@@ -159,36 +265,12 @@ impl LineitemTable {
         rows: usize,
         total_rows: usize,
     ) -> Self {
-        assert!(
-            first_row + rows <= total_rows,
-            "row range {first_row}..{} exceeds the {total_rows}-row logical table",
-            first_row + rows
-        );
-        let mut rng = SplitMix64::new(seed);
-        rng.skip(first_row as u64 * DRAWS_PER_ROW);
-        let mut shipdate = Vec::with_capacity(rows);
-        let mut discount = Vec::with_capacity(rows);
-        let mut quantity = Vec::with_capacity(rows);
-        let mut extendedprice = Vec::with_capacity(rows);
-        for i in 0..rows {
-            // Draw-and-discard keeps the stream aligned with the
-            // uniform shape: every later column sees the same values.
-            let _ = rng.range_i64(0, SHIPDATE_DAYS - 1);
-            let global = (first_row + i) as u128;
-            shipdate.push((global * SHIPDATE_DAYS as u128 / total_rows as u128) as i64);
-            discount.push(rng.range_i64(0, 10));
-            let q = rng.range_i64(1, 50);
-            quantity.push(q);
-            let part_price = rng.range_i64(90_000, 111_000);
-            extendedprice.push(q * part_price);
-        }
-        LineitemTable {
-            shipdate,
-            discount,
-            quantity,
-            extendedprice,
+        LineitemTable::generate_shaped(
             seed,
-        }
+            first_row,
+            rows,
+            TableShape::ClusteredShipdate { total_rows },
+        )
     }
 
     /// Generates rows `first_row .. first_row + rows` of the table
@@ -207,29 +289,7 @@ impl LineitemTable {
     /// assert_eq!(shard.column(Column::Quantity), &whole.column(Column::Quantity)[60..]);
     /// ```
     pub fn generate_range(seed: u64, first_row: usize, rows: usize) -> Self {
-        let mut rng = SplitMix64::new(seed);
-        rng.skip(first_row as u64 * DRAWS_PER_ROW);
-        let mut shipdate = Vec::with_capacity(rows);
-        let mut discount = Vec::with_capacity(rows);
-        let mut quantity = Vec::with_capacity(rows);
-        let mut extendedprice = Vec::with_capacity(rows);
-        for _ in 0..rows {
-            shipdate.push(rng.range_i64(0, SHIPDATE_DAYS - 1));
-            discount.push(rng.range_i64(0, 10));
-            let q = rng.range_i64(1, 50);
-            quantity.push(q);
-            // dbgen: extendedprice = quantity * part retail price;
-            // retail prices are ~90k..111k cents.
-            let part_price = rng.range_i64(90_000, 111_000);
-            extendedprice.push(q * part_price);
-        }
-        LineitemTable {
-            shipdate,
-            discount,
-            quantity,
-            extendedprice,
-            seed,
-        }
+        LineitemTable::generate_shaped(seed, first_row, rows, TableShape::Uniform)
     }
 
     /// Generates a table sized to a TPC-H scale factor.
@@ -361,8 +421,7 @@ mod tests {
     fn clustered_differs_from_uniform_only_in_shipdate() {
         let total = 300;
         let uniform = LineitemTable::generate(total, 33);
-        let clustered =
-            LineitemTable::generate_clustered_range(33, 0, total, total);
+        let clustered = LineitemTable::generate_clustered_range(33, 0, total, total);
         for c in [Column::Discount, Column::Quantity, Column::ExtendedPrice] {
             assert_eq!(uniform.column(c), clustered.column(c), "{c}");
         }
@@ -386,6 +445,40 @@ mod tests {
         );
         let d = LineitemTable::generate_clustered_range(5, 10, 40, 100);
         assert_eq!(c.column(Column::Shipdate), d.column(Column::Shipdate));
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_serial() {
+        // Big enough to clear PARALLEL_MIN_ROWS so the wide pools
+        // genuinely chunk, with a ragged tail (not a chunk multiple).
+        let rows = PARALLEL_MIN_ROWS + 12_345;
+        for shape in [
+            TableShape::Uniform,
+            TableShape::ClusteredShipdate {
+                total_rows: rows + 7,
+            },
+        ] {
+            let serial =
+                LineitemTable::generate_shaped_on(&WorkerPool::serial(), 77, 3, rows, shape);
+            for workers in [2, 3, 8] {
+                let pool = WorkerPool::new(workers);
+                let parallel = LineitemTable::generate_shaped_on(&pool, 77, 3, rows, shape);
+                for c in Column::ALL {
+                    assert_eq!(
+                        serial.column(c),
+                        parallel.column(c),
+                        "{c} differs at {workers} workers ({shape:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_table_generates_empty() {
+        let t =
+            LineitemTable::generate_shaped_on(&WorkerPool::new(4), 1, 0, 0, TableShape::Uniform);
+        assert_eq!(t.rows(), 0);
     }
 
     #[test]

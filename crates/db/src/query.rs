@@ -281,11 +281,7 @@ mod tests {
             for min in -1..=7i64 {
                 for max in min..=7 {
                     let truth = (min..=max).any(|v| op.eval(v));
-                    assert_eq!(
-                        op.may_match(min, max),
-                        truth,
-                        "{op:?} on [{min}, {max}]"
-                    );
+                    assert_eq!(op.may_match(min, max), truth, "{op:?} on [{min}, {max}]");
                 }
             }
         }

@@ -306,10 +306,7 @@ mod tests {
         let late = LineitemTable::generate_clustered_range(11, total / 2, total / 2, total);
         let zm = ZoneMap::build(&late);
         let early_window = Query::new(
-            vec![ColumnPredicate::new(
-                Column::Shipdate,
-                CmpOp::Range(0, 100),
-            )],
+            vec![ColumnPredicate::new(Column::Shipdate, CmpOp::Range(0, 100))],
             false,
         );
         assert!(!zm.table_may_match(&early_window));

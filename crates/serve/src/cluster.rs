@@ -3,8 +3,20 @@
 use hipe::{Arch, RunReport, Session, System, SystemConfig, TableShape};
 use hipe_db::scan::ScanResult;
 use hipe_db::{Bitmask, Query};
-use hipe_sim::Cycle;
+use hipe_sim::{Cycle, WorkerPool};
 use std::ops::Range;
+
+// Compile-time guard for host-parallel co-simulation: shard cubes and
+// their warm sessions cross worker-thread boundaries in the scatter
+// phase, so the whole cluster stack must stay `Send`.
+const _: () = {
+    fn _assert_send<T: Send>() {}
+    fn _guards() {
+        _assert_send::<Cluster>();
+        _assert_send::<ClusterSession<'_>>();
+        _assert_send::<ReplicaSet>();
+    }
+};
 
 /// Host-side cycles to merge one extra shard's answer into the
 /// gathered result (mask stitch + partial-sum add, already resident in
@@ -41,6 +53,14 @@ pub struct ClusterConfig {
     /// all-zero answer for them). Off by default — the historical
     /// figures measure full scatter.
     pub pruning: bool,
+    /// Host worker threads driving the scatter phase (and cluster
+    /// construction). Shard runs are independent between scatter and
+    /// gather, and the gather merges in shard order, so every width
+    /// produces bit-identical results and cycle counts; only host
+    /// wall-clock changes. Defaults to the `HIPE_WORKERS` environment
+    /// variable (1, i.e. fully serial, when unset) — and `workers: 1`
+    /// runs exactly the historical single-threaded code path.
+    pub workers: usize,
 }
 
 impl ClusterConfig {
@@ -55,6 +75,7 @@ impl ClusterConfig {
             replicas: 1,
             clustered: false,
             pruning: false,
+            workers: hipe_sim::env_workers(),
         }
     }
 
@@ -163,6 +184,7 @@ pub struct Cluster {
     cfg: ClusterConfig,
     sets: Vec<ReplicaSet>,
     bounds: Vec<Range<usize>>,
+    pool: WorkerPool,
 }
 
 impl Cluster {
@@ -192,8 +214,8 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if `cfg.shards` is zero or exceeds `cfg.rows`, if
-    /// `cfg.replicas` is zero, or if `cfg.partitions` does not divide
-    /// the vault sweep.
+    /// `cfg.replicas` or `cfg.workers` is zero, or if `cfg.partitions`
+    /// does not divide the vault sweep.
     pub fn with_config(cfg: ClusterConfig) -> Self {
         assert!(cfg.shards > 0, "a cluster needs at least one shard");
         assert!(
@@ -225,25 +247,31 @@ impl Cluster {
         } else {
             TableShape::Uniform
         };
-        let sets = bounds
-            .iter()
-            .map(|range| ReplicaSet {
-                rows: range.clone(),
-                replicas: (0..cfg.replicas)
-                    .map(|_| {
-                        System::with_config(SystemConfig {
-                            rows: range.len(),
-                            row_offset: range.start,
-                            partitions: cfg.partitions,
-                            shape,
-                            pruning: cfg.pruning,
-                            ..SystemConfig::paper(range.len(), cfg.seed)
-                        })
+        // Shard cubes (and their replicas) are independent, so
+        // construction fans out over the pool; the gather is in shard
+        // order, so the cluster is identical at every worker count.
+        let pool = WorkerPool::new(cfg.workers);
+        let sets = pool.run(bounds.clone(), |_, range| ReplicaSet {
+            rows: range.clone(),
+            replicas: (0..cfg.replicas)
+                .map(|_| {
+                    System::with_config(SystemConfig {
+                        rows: range.len(),
+                        row_offset: range.start,
+                        partitions: cfg.partitions,
+                        shape,
+                        pruning: cfg.pruning,
+                        ..SystemConfig::paper(range.len(), cfg.seed)
                     })
-                    .collect(),
-            })
-            .collect();
-        Cluster { cfg, sets, bounds }
+                })
+                .collect(),
+        });
+        Cluster {
+            cfg,
+            sets,
+            bounds,
+            pool,
+        }
     }
 
     /// The configuration in use.
@@ -318,17 +346,22 @@ impl Cluster {
         self.sets.iter().flat_map(|set| set.replicas.iter())
     }
 
+    /// The host worker pool driving this cluster's fan-out phases.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     /// Opens a warm cluster session: one materialized cube image per
     /// replica of every shard, plan caches warm across the whole
-    /// batch.
+    /// batch. Image materialization fans out over the worker pool —
+    /// each replica's image is built independently, so the warm state
+    /// is identical at every worker count.
     pub fn session(&self) -> ClusterSession<'_> {
         ClusterSession {
             cluster: self,
-            sessions: self
-                .sets
-                .iter()
-                .map(|set| set.replicas.iter().map(System::session).collect())
-                .collect(),
+            sessions: self.pool.run(self.sets.iter().collect(), |_, set| {
+                set.replicas.iter().map(System::session).collect()
+            }),
         }
     }
 
@@ -423,8 +456,14 @@ impl<'a> ClusterSession<'a> {
             self.sessions.len(),
             "routing vector must name one replica per shard"
         );
-        let mut skipped = Vec::with_capacity(self.sessions.len());
-        let shard_reports: Vec<RunReport> = self
+        // Scatter: the chosen replica sessions are disjoint `&mut`s, so
+        // the shard runs fan out over the cluster's worker pool. Each
+        // shard's simulated clock is its own — parallelism moves host
+        // wall-clock only — and the pool gathers results in shard
+        // order (never arrival order), so the merge below sees exactly
+        // the serial sequence and the combined report is bit-identical
+        // at every worker count.
+        let chosen: Vec<&mut Session<'_>> = self
             .sessions
             .iter_mut()
             .zip(replica_of_shard)
@@ -435,23 +474,25 @@ impl<'a> ClusterSession<'a> {
                     "replica {r} out of range (shard {s} has {} replicas)",
                     replicas.len()
                 );
-                let sys = replicas[r].system();
-                let skip = sys
-                    .prune()
-                    .is_some_and(|zm| !zm.table_may_match(query));
-                skipped.push(skip);
-                if skip {
-                    RunReport::skipped(
-                        arch,
-                        sys.config().rows,
-                        sys.layout().regions(),
-                        query.aggregates(),
-                    )
-                } else {
-                    replicas[r].run(arch, query)
-                }
+                &mut replicas[r]
             })
             .collect();
+        let outcomes: Vec<(RunReport, bool)> = self.cluster.pool.run(chosen, |_, session| {
+            let sys = session.system();
+            let skip = sys.prune().is_some_and(|zm| !zm.table_may_match(query));
+            let report = if skip {
+                RunReport::skipped(
+                    arch,
+                    sys.config().rows,
+                    sys.layout().regions(),
+                    query.aggregates(),
+                )
+            } else {
+                session.run(arch, query)
+            };
+            (report, skip)
+        });
+        let (shard_reports, skipped) = outcomes.into_iter().unzip();
         combine(self.cluster, arch, query, shard_reports, skipped)
     }
 }
@@ -547,7 +588,7 @@ impl std::fmt::Display for ClusterReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} x{} shards: {} cycles, {} / {} tuples ({:.2} %) [shard cycles",
+            "{} x{} shards: {} cyc, {} / {} tuples ({:.2} %) [shard cyc",
             self.arch,
             self.shard_reports.len(),
             self.cycles,
@@ -712,11 +753,7 @@ mod tests {
         let rf = full.run(Arch::Hipe, &q);
         assert_eq!(rs.result, rf.result, "skipping changed the answer");
         assert!(rs.result.matches > 0, "window should select something");
-        assert!(
-            rs.shards_skipped() >= 2,
-            "skipped only {:?}",
-            rs.skipped
-        );
+        assert!(rs.shards_skipped() >= 2, "skipped only {:?}", rs.skipped);
         assert_eq!(rf.shards_skipped(), 0);
         // Skipped shards cost nothing and are excluded from the merge.
         assert!(rs.cycles < rf.cycles);

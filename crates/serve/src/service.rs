@@ -300,8 +300,8 @@ impl std::fmt::Display for ServiceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} x{} shards x{} replicas: {} queries in {} cycles ({} q/Gcyc), \
-             latency p50/p95/p99 {}/{}/{} cycles, util",
+            "{} x{} shards x{} replicas: {} queries in {} cyc ({} q/Gcyc), \
+             latency p50/p95/p99 {}/{}/{} cyc, util",
             self.arch,
             self.shards,
             self.replicas,
@@ -497,8 +497,7 @@ impl<'a> Scheduler<'a> {
             let answering: Vec<usize> = (0..self.replicas.len())
                 .filter(|&s| !self.skipped[p.query][s])
                 .collect();
-            let merge =
-                (answering.len().max(1) as Cycle - 1) * MERGE_CYCLES_PER_SHARD;
+            let merge = (answering.len().max(1) as Cycle - 1) * MERGE_CYCLES_PER_SHARD;
             let slowest = answering
                 .iter()
                 .map(|&s| self.route_and_serve(p.query, s, scattered))

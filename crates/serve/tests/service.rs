@@ -305,11 +305,7 @@ fn zonemap_shard_skipping_preserves_service_answers_and_frees_shards() {
     );
     // Skipped shards never see a sub-query; under full scatter every
     // shard stays busy.
-    let idle = skip_report
-        .shard_busy
-        .iter()
-        .filter(|&&b| b == 0)
-        .count();
+    let idle = skip_report.shard_busy.iter().filter(|&&b| b == 0).count();
     assert!(idle >= 2, "busy: {:?}", skip_report.shard_busy);
     assert!(full_report.shard_busy.iter().all(|&b| b > 0));
 }

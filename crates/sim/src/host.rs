@@ -1,0 +1,237 @@
+//! Host-side worker pool for parallel co-simulation.
+//!
+//! Everything in this workspace simulates *cycles*; this module is the
+//! one place that spends *host* time. A [`WorkerPool`] fans a batch of
+//! independent jobs out over `std::thread` workers (zero external
+//! dependencies) and gathers the results **in input order**, never in
+//! arrival order — so a parallel run is bit-identical to the serial one
+//! by construction, and callers can merge shard results positionally.
+//!
+//! With `workers == 1` (the default, see [`env_workers`]) no thread is
+//! spawned at all: jobs run inline on the calling thread, in order,
+//! byte-identical to a plain loop. Simulated cycle accounting is never
+//! affected by the pool — each job's simulated clock is its own.
+//!
+//! # Example
+//!
+//! ```
+//! use hipe_sim::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! let squares = pool.run(vec![1u64, 2, 3, 4, 5], |_idx, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, always
+//! ```
+
+use std::sync::{mpsc, Mutex};
+
+/// Number of host workers requested via the `HIPE_WORKERS` environment
+/// variable (default 1 — fully serial). Values that fail to parse or
+/// are zero fall back to 1.
+pub fn env_workers() -> usize {
+    std::env::var("HIPE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
+/// A fixed-width pool of host worker threads with deterministic gather.
+///
+/// Jobs are pulled from a shared queue by up to `workers` scoped
+/// threads; results are returned in the order the jobs were submitted
+/// regardless of which worker finished first. See the module docs for
+/// the determinism contract.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool that fans out over `workers` host threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a worker pool needs at least one worker");
+        WorkerPool { workers }
+    }
+
+    /// A pool sized by the `HIPE_WORKERS` environment variable
+    /// (default 1, i.e. serial).
+    pub fn from_env() -> Self {
+        WorkerPool::new(env_workers())
+    }
+
+    /// The serial pool: every job runs inline on the calling thread.
+    pub fn serial() -> Self {
+        WorkerPool::new(1)
+    }
+
+    /// Width of the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every item, returning the results in item order.
+    ///
+    /// `f(i, item)` receives the item's submission index. With one
+    /// worker (or at most one item) this is exactly
+    /// `items.into_iter().enumerate().map(...)` on the calling thread.
+    pub fn run<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        self.run_with(items, || (), |_, i, item| f(i, item))
+    }
+
+    /// Like [`run`](Self::run), but each worker thread first builds
+    /// private state with `init` and threads it through its jobs —
+    /// e.g. one warm query session per worker so plan caches and
+    /// materializations amortize within a worker without sharing.
+    ///
+    /// The serial path builds the state exactly once, so with
+    /// `workers == 1` this is byte-identical to a plain stateful loop.
+    pub fn run_with<S, I, T, Init, F>(&self, items: Vec<I>, init: Init, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, I) -> T + Sync,
+    {
+        let threads = self.workers.min(items.len());
+        if threads <= 1 {
+            let mut state = init();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut state, i, item))
+                .collect();
+        }
+        let n = items.len();
+        // Shared job queue: workers race to pull the next (index, item)
+        // pair; indices make the gather order-independent of arrival.
+        let jobs = Mutex::new(items.into_iter().enumerate());
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let jobs = &jobs;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        // Take the lock only to pull the next job, not
+                        // while running it.
+                        let job = jobs.lock().expect("a sibling worker panicked").next();
+                        let Some((i, item)) = job else { break };
+                        if tx.send((i, f(&mut state, i, item))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (i, out) in rx {
+                slots[i] = Some(out);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("a worker exited without returning its result"))
+                .collect()
+        })
+    }
+}
+
+impl Default for WorkerPool {
+    /// The environment-sized pool ([`WorkerPool::from_env`]).
+    fn default() -> Self {
+        WorkerPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let pool = WorkerPool::new(4);
+        // Reverse sleep-free skew: make early items the most expensive
+        // so late items would arrive first if gather followed arrival.
+        let out = pool.run((0..64usize).collect(), |_, i| {
+            let mut acc = i as u64;
+            for _ in 0..(64 - i) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(acc);
+            i * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_pool_matches_parallel_pool() {
+        let f = |i: usize, x: u64| x.wrapping_mul(i as u64 + 1) ^ 0x9e37;
+        let items: Vec<u64> = (0..100).map(|i| i * 31).collect();
+        let serial = WorkerPool::serial().run(items.clone(), f);
+        let parallel = WorkerPool::new(8).run(items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn serial_pool_spawns_no_threads_and_runs_in_order() {
+        // Worker-local state observes in-order execution on one state.
+        let trace = WorkerPool::serial().run_with(
+            vec![10usize, 20, 30],
+            Vec::new,
+            |seen: &mut Vec<usize>, i, item| {
+                seen.push(item);
+                (i, seen.clone())
+            },
+        );
+        assert_eq!(trace[2], (2, vec![10, 20, 30]));
+    }
+
+    #[test]
+    fn run_with_builds_one_state_per_worker_at_most() {
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        BUILDS.store(0, Ordering::SeqCst);
+        let pool = WorkerPool::new(3);
+        let out = pool.run_with(
+            (0..32usize).collect(),
+            || BUILDS.fetch_add(1, Ordering::SeqCst),
+            |_, i, item| i + item,
+        );
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        let builds = BUILDS.load(Ordering::SeqCst);
+        assert!((1..=3).contains(&builds), "built {builds} states");
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let pool = WorkerPool::new(4);
+        let empty: Vec<u32> = pool.run(Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.run(vec![7u32], |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn env_workers_defaults_to_one() {
+        if std::env::var("HIPE_WORKERS").is_err() {
+            assert_eq!(env_workers(), 1);
+        }
+        assert!(env_workers() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+}

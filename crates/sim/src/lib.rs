@@ -43,6 +43,7 @@
 //! ```
 
 mod fifo_window;
+mod host;
 mod pipe;
 mod server;
 mod stats;
@@ -50,6 +51,7 @@ mod time;
 mod window;
 
 pub use fifo_window::FifoWindow;
+pub use host::{env_workers, WorkerPool};
 pub use pipe::ThroughputPipe;
 pub use server::{MultiServer, ServeOutcome, Server};
 pub use stats::{Counter, Histogram, RunningStats, Samples};

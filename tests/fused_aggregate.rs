@@ -153,9 +153,8 @@ fn fused_partials_match_per_region_reference_sums() {
     // slot holds exactly the reference sum of its 32-row region.
     let sys = System::new(1000, 9);
     let q = Query::q6();
-    let program =
-        hipe_compiler::lower_logic_aggregate(&q, sys.layout(), false, None)
-            .expect("valid aggregate");
+    let program = hipe_compiler::lower_logic_aggregate(&q, sys.layout(), false, None)
+        .expect("valid aggregate");
     let mut session = sys.session();
     session.run(Arch::Hive, &q);
     let reference = scan::reference(sys.table(), &q);

@@ -9,9 +9,27 @@
 
 use hipe::{Arch, System};
 use hipe_db::Query;
-use hipe_serve::{run_service, Cluster, FaultPlan, ServiceConfig};
+use hipe_serve::{run_service, Cluster, ClusterConfig, FaultPlan, ServiceConfig};
 
 const SEED: u64 = 2024;
+
+/// Worker widths the determinism tests sweep: serial, two threads and
+/// the full host width, deduplicated.
+fn worker_sweep() -> Vec<usize> {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut widths = vec![1usize, 2, cpus];
+    widths.sort_unstable();
+    widths.dedup();
+    widths
+}
+
+/// A replicated cluster built with an explicit host worker width.
+fn replicated_with_workers(rows: usize, shards: usize, replicas: usize, workers: usize) -> Cluster {
+    Cluster::with_config(ClusterConfig {
+        workers,
+        ..ClusterConfig::replicated(rows, SEED, shards, replicas)
+    })
+}
 
 #[test]
 fn routed_queries_match_scatter_gather_and_the_monolith() {
@@ -103,5 +121,73 @@ fn failover_is_answer_invariant_on_all_architectures() {
         assert_eq!(failed.failovers, 1, "{arch}");
         assert_eq!(failed.answers, clean.answers, "{arch}");
         assert_eq!(failed.answers_digest(), clean.answers_digest(), "{arch}");
+    }
+}
+
+#[test]
+fn host_thread_count_never_changes_routed_results_or_cycles() {
+    const ROWS: usize = 1000;
+    let base = replicated_with_workers(ROWS, 3, 2, 1);
+    let mut base_session = base.session();
+    let routes: [[usize; 3]; 3] = [[0, 0, 0], [1, 1, 1], [0, 1, 0]];
+    let queries = [
+        Query::q6(),
+        Query::quantity_below_permille(100),
+        Query::quantity_below_permille(500).with_aggregate(),
+    ];
+    for workers in worker_sweep() {
+        let cluster = replicated_with_workers(ROWS, 3, 2, workers);
+        let mut session = cluster.session();
+        for query in &queries {
+            for arch in Arch::ALL {
+                let b = base_session.run(arch, query);
+                let full = session.run(arch, query);
+                let ctx = format!("{workers} workers, {arch}, [{query}]");
+                assert_eq!(full.result, b.result, "{ctx}: scatter-gather result");
+                assert_eq!(full.cycles, b.cycles, "{ctx}: scatter-gather cycles");
+                for route in &routes {
+                    let br = base_session.run_routed(arch, query, route);
+                    let routed = session.run_routed(arch, query, route);
+                    assert_eq!(routed.result, br.result, "{ctx}, route {route:?}: result");
+                    assert_eq!(routed.cycles, br.cycles, "{ctx}, route {route:?}: cycles");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn host_thread_count_never_changes_failover_outcomes() {
+    let mix = vec![(Query::q6(), 1), (Query::quantity_below_permille(250), 1)];
+    let cfg = ServiceConfig::closed(Arch::Hipe, 16, mix, 4);
+    let serial = replicated_with_workers(512, 2, 2, 1);
+    let clean = run_service(&serial, &cfg);
+    let fault_cfg = ServiceConfig {
+        faults: vec![FaultPlan::new(1, 0, clean.makespan / 2)],
+        ..cfg.clone()
+    };
+    let base_failed = run_service(&serial, &fault_cfg);
+    for workers in worker_sweep() {
+        let cluster = replicated_with_workers(512, 2, 2, workers);
+        let ctx = format!("{workers} workers");
+        let report = run_service(&cluster, &cfg);
+        assert_eq!(report.answers, clean.answers, "{ctx}: clean answers");
+        assert_eq!(
+            report.answers_digest(),
+            clean.answers_digest(),
+            "{ctx}: clean digest"
+        );
+        assert_eq!(report.makespan, clean.makespan, "{ctx}: clean makespan");
+        let failed = run_service(&cluster, &fault_cfg);
+        assert_eq!(failed.failovers, base_failed.failovers, "{ctx}: failovers");
+        assert_eq!(failed.answers, base_failed.answers, "{ctx}: failed answers");
+        assert_eq!(
+            failed.makespan, base_failed.makespan,
+            "{ctx}: failed makespan"
+        );
+        assert_eq!(
+            failed.replica_busy, base_failed.replica_busy,
+            "{ctx}: replica busy"
+        );
     }
 }

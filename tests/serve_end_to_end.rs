@@ -7,10 +7,22 @@
 
 use hipe::{Arch, System};
 use hipe_db::Query;
-use hipe_serve::{run_service, Cluster, ServiceConfig};
+use hipe_serve::{run_service, Cluster, ClusterConfig, ServiceConfig};
 
 const ROWS: usize = 4096;
 const SEED: u64 = 2024;
+
+/// Worker widths the determinism tests sweep: serial, two threads and
+/// everything the host offers (deduplicated — on a single-core runner
+/// this degenerates to just `[1]`, which is still a valid, if vacuous,
+/// pass).
+fn worker_sweep() -> Vec<usize> {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut widths = vec![1usize, 2, cpus];
+    widths.sort_unstable();
+    widths.dedup();
+    widths
+}
 
 #[test]
 fn multi_shard_cluster_is_bit_identical_to_the_monolithic_system() {
@@ -60,4 +72,80 @@ fn service_throughput_scales_monotonically_to_four_shards() {
         last = qpgc;
     }
     assert!(last > 0);
+}
+
+#[test]
+fn host_thread_count_never_changes_cluster_results_or_cycles() {
+    let queries = [
+        Query::q6(),
+        Query::quantity_below_permille(30),
+        Query::quantity_below_permille(500).with_aggregate(),
+    ];
+    // Baseline: the historical fully-serial path.
+    let serial = Cluster::with_config(ClusterConfig {
+        workers: 1,
+        ..ClusterConfig::new(ROWS, SEED, 4)
+    });
+    let mut serial_session = serial.session();
+    for workers in worker_sweep() {
+        let cluster = Cluster::with_config(ClusterConfig {
+            workers,
+            ..ClusterConfig::new(ROWS, SEED, 4)
+        });
+        let mut session = cluster.session();
+        for query in &queries {
+            for arch in Arch::ALL {
+                let par = session.run(arch, query);
+                let base = serial_session.run(arch, query);
+                let ctx = format!("{workers} workers, {arch}, [{query}]");
+                assert_eq!(par.result.bitmask, base.result.bitmask, "{ctx}: masks");
+                assert_eq!(par.result.aggregate, base.result.aggregate, "{ctx}: sums");
+                assert_eq!(par.result, base.result, "{ctx}: full result");
+                assert_eq!(par.cycles, base.cycles, "{ctx}: merged cycles");
+                for (shard, (p, b)) in par
+                    .shard_reports
+                    .iter()
+                    .zip(&base.shard_reports)
+                    .enumerate()
+                {
+                    assert_eq!(p.cycles, b.cycles, "{ctx}: shard {shard} cycles");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn host_thread_count_never_changes_service_answers_or_latency() {
+    let mix = vec![
+        (Query::q6(), 2),
+        (Query::quantity_below_permille(100), 3),
+        (Query::quantity_below_permille(500).with_aggregate(), 1),
+    ];
+    for arch in Arch::ALL {
+        let cfg = ServiceConfig::closed(arch, 32, mix.clone(), 8);
+        let serial = Cluster::with_config(ClusterConfig {
+            workers: 1,
+            ..ClusterConfig::new(ROWS, SEED, 4)
+        });
+        let base = run_service(&serial, &cfg);
+        for workers in worker_sweep() {
+            let cluster = Cluster::with_config(ClusterConfig {
+                workers,
+                ..ClusterConfig::new(ROWS, SEED, 4)
+            });
+            let report = run_service(&cluster, &cfg);
+            let ctx = format!("{workers} workers, {arch}");
+            assert_eq!(report.queries, base.queries, "{ctx}: queries served");
+            assert_eq!(report.answers, base.answers, "{ctx}: answers");
+            assert_eq!(
+                report.answers_digest(),
+                base.answers_digest(),
+                "{ctx}: digest"
+            );
+            assert_eq!(report.makespan, base.makespan, "{ctx}: makespan");
+            assert_eq!(report.latency, base.latency, "{ctx}: latency summary");
+            assert_eq!(report.shard_busy, base.shard_busy, "{ctx}: shard busy");
+        }
+    }
 }

@@ -91,12 +91,8 @@ fn randomized_predicates_prune_bit_identically_on_all_archs() {
     for _ in 0..10 {
         let query = random_query(&mut rng);
         for (i, &arch) in Arch::ALL.iter().enumerate() {
-            regions_pruned += assert_equivalent(
-                &mut pruned_sessions[i],
-                &mut full_sessions[i],
-                arch,
-                &query,
-            );
+            regions_pruned +=
+                assert_equivalent(&mut pruned_sessions[i], &mut full_sessions[i], arch, &query);
         }
     }
     assert!(
@@ -232,11 +228,7 @@ fn sharded_and_replicated_clusters_skip_without_changing_answers() {
                 // 4-way split: at least two shards must be skipped.
                 if shards == 4 && std::ptr::eq(query, &narrow) {
                     let report = cluster.run(Arch::Hipe, query);
-                    assert!(
-                        report.shards_skipped() >= 2,
-                        "skipped {:?}",
-                        report.skipped
-                    );
+                    assert!(report.shards_skipped() >= 2, "skipped {:?}", report.skipped);
                 }
             }
         }
