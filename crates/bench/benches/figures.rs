@@ -47,6 +47,13 @@
 //! to serial), and `check_figures` fails if the 4-worker runs are
 //! slower than the serial ones.
 //!
+//! A final trio of rows (`perf_materialize` / `perf_generate` /
+//! `perf_engine`) records the data-plane rates of the zero-copy hot
+//! paths — in-place image materialization bytes/s, table generation
+//! rows/s and engine simulated-instructions/s — over a capped table
+//! (see `hipe_bench::perf`), so the host-side throughput trajectory
+//! is recorded and checked, not anecdotal.
+//!
 //! Besides the human-readable table, all sweeps are written to
 //! `BENCH_figures.json` (override the path with `HIPE_BENCH_JSON`) so
 //! the performance trajectory of the simulator is machine-checkable
@@ -547,6 +554,39 @@ fn main() {
         sweep_par_digest ^ scatter_par_digest,
         sweep_ser_ms + sweep_par_ms + scatter_ser_ms + scatter_par_ms,
     ));
+
+    // Data-plane rate rows: the zero-copy hot paths' host throughput
+    // (materialization bytes/s, generation rows/s, engine simulated
+    // instr/s), measured over a capped table so these rows cost a
+    // fixed slice of the sweep however large HIPE_BENCH_SF makes it.
+    // check_figures requires all three rows, each with nonzero work
+    // and rate and the usual host_ms.
+    println!(
+        "# data-plane rates (rows capped at {})",
+        hipe_bench::perf::PERF_ROWS_CAP
+    );
+    println!(
+        "{:<20} {:>8} {:>14} {:>16} {:>12} {:>12}",
+        "point", "unit", "work/iter", "rate_per_s", "headline", "host_ms"
+    );
+    for r in hipe_bench::perf::measure(rows, SEED, hipe_bench::target_duration(), &pool) {
+        println!(
+            "{:<20} {:>8} {:>14} {:>16} {:>9.3} {:<3} {:>10.1}",
+            r.name,
+            r.unit,
+            r.work,
+            r.rate_per_s,
+            r.headline(),
+            r.headline_unit(),
+            r.host_ms,
+        );
+        json_points.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"unit\": \"{}\",\n      \
+             \"work\": {},\n      \"rate_per_s\": {},\n      \
+             \"host_ms\": {:.3}\n    }}",
+            r.name, r.unit, r.work, r.rate_per_s, r.host_ms,
+        ));
+    }
 
     // Default next to the workspace root regardless of the bench CWD.
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {

@@ -1,0 +1,36 @@
+//! Standalone data-plane rate report: materialization GB/s, table
+//! generation Mrows/s and engine Minstr/s, measured exactly as the
+//! figures bench records them in the `perf_*` JSON rows.
+//!
+//! Run with `cargo bench -p hipe-bench --bench perf_rates`; scale the
+//! measured table with `HIPE_BENCH_ROWS` / `HIPE_BENCH_SF` (capped at
+//! [`hipe_bench::perf::PERF_ROWS_CAP`] rows), the time budget with
+//! `HIPE_BENCH_MS`, and the generation fan-out with `HIPE_WORKERS`.
+
+use hipe_bench::perf::{measure, PERF_ROWS_CAP};
+use hipe_sim::WorkerPool;
+
+const SEED: u64 = 2018;
+
+fn main() {
+    hipe_bench::print_header("perf_rates");
+    let rows = hipe_bench::bench_rows().min(PERF_ROWS_CAP);
+    let pool = WorkerPool::from_env();
+    println!("# data-plane rates over {rows} rows (cap {PERF_ROWS_CAP})");
+    println!(
+        "{:<20} {:>8} {:>14} {:>16} {:>12} {:>12}",
+        "point", "unit", "work/iter", "rate_per_s", "headline", "host_ms"
+    );
+    for r in measure(rows, SEED, hipe_bench::target_duration(), &pool) {
+        println!(
+            "{:<20} {:>8} {:>14} {:>16} {:>9.3} {:<3} {:>10.1}",
+            r.name,
+            r.unit,
+            r.work,
+            r.rate_per_s,
+            r.headline(),
+            r.headline_unit(),
+            r.host_ms,
+        );
+    }
+}

@@ -35,6 +35,14 @@
 //! one shard never scattered to, at no cycle cost over the full
 //! scatter — a data-skipping regression fails CI.
 //!
+//! The data-plane rate rows (`perf_materialize` / `perf_generate` /
+//! `perf_engine`) record the host-side throughput of the zero-copy
+//! hot paths: each must be present and report a positive work size
+//! and a positive integer rate — a rate of zero means the measured
+//! path produced nothing (or the recording harness broke), and a
+//! missing row means the sweep silently dropped its throughput
+//! tracking.
+//!
 //! Every point must also record its host wall-clock as a `host_ms`
 //! field — the simulator-speed trajectory is part of the schema — and
 //! the `host_par` row (the same four-arch batch and 4-shard scatter on
@@ -81,6 +89,10 @@ const SKIP_POINTS: [&str; 3] = ["skip_1%", "skip_3%", "skip_10%"];
 /// Skip points at ≤ 3 % selectivity: these owe a ≥ 1.5x reduction in
 /// both scan and dispatch completion cycles on every machine.
 const SKIP_TIGHT_POINTS: [&str; 2] = ["skip_1%", "skip_3%"];
+
+/// Data-plane rate rows recorded by the figures bench (host-side
+/// throughput of the zero-copy hot paths).
+const PERF_POINTS: [&str; 3] = ["perf_materialize", "perf_generate", "perf_engine"];
 
 fn main() -> ExitCode {
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
@@ -143,10 +155,11 @@ fn check(text: &str) -> Result<usize, String> {
     }
 
     for (name, block) in &blocks {
-        // Service-sweep points describe the scheduler and the
-        // host-parallel row describes the simulator, not per-arch
-        // runs; their own fields are validated below.
-        if name.starts_with("serve_") || name == "host_par" {
+        // Service-sweep points describe the scheduler, the
+        // host-parallel row describes the simulator, and the perf rows
+        // describe host data-plane rates, not per-arch runs; their own
+        // fields are validated below.
+        if name.starts_with("serve_") || name.starts_with("perf_") || name == "host_par" {
             continue;
         }
         // Partition-sweep points carry only the logic machines.
@@ -367,6 +380,27 @@ fn check(text: &str) -> Result<usize, String> {
         ));
     }
 
+    // Data-plane rate rows: every perf point present, with a positive
+    // work size and a positive integer rate — a zero rate means the
+    // measured hot path did no work per unit time (a recording bug or
+    // a catastrophic regression either way).
+    for wanted in PERF_POINTS {
+        let (_, block) = blocks
+            .iter()
+            .find(|(name, _)| name == wanted)
+            .ok_or_else(|| format!("data-plane rate point {wanted} missing"))?;
+        let work =
+            point_field(block, "work").ok_or_else(|| format!("point {wanted} lacks work"))?;
+        if work == 0 {
+            return Err(format!("point {wanted}: zero work per iteration"));
+        }
+        let rate = point_field(block, "rate_per_s")
+            .ok_or_else(|| format!("point {wanted} lacks rate_per_s"))?;
+        if rate == 0 {
+            return Err(format!("point {wanted}: zero data-plane rate"));
+        }
+    }
+
     // Host wall-clock: every row must record how long the simulator
     // itself took (the figures track simulated cycles *and* the cost
     // of producing them).
@@ -548,6 +582,13 @@ mod tests {
         )
     }
 
+    fn perf_point(name: &str, unit: &str, work: u64, rate: u64) -> String {
+        format!(
+            "{{\"name\": \"{name}\", \"unit\": \"{unit}\", \"work\": {work}, \
+             \"rate_per_s\": {rate}, \"host_ms\": 2.375}}"
+        )
+    }
+
     fn host_par_point(sweep: (u64, u64), scatter: (u64, u64), digests: (u64, u64)) -> String {
         format!(
             "{{\"name\": \"host_par\", \"workers\": 4, \"host_cpus\": 8, \
@@ -581,6 +622,14 @@ mod tests {
         points.push(skip_point("skip_10%", 60, 100));
         points.push(serve_skip_point(3, 40, 90));
         points.push(host_par_point((100, 30), (80, 25), (42, 42)));
+        points.push(perf_point(
+            "perf_materialize",
+            "bytes",
+            1 << 20,
+            5_000_000_000,
+        ));
+        points.push(perf_point("perf_generate", "rows", 32_768, 60_000_000));
+        points.push(perf_point("perf_engine", "instr", 98_304, 20_000_000));
         format!(
             "{{\"bench\": \"figures\", \"archs\": [\"x86\", \"HMC-ISA\", \"HIVE\", \"HIPE\"], \
              \"points\": [{}]}}",
@@ -598,7 +647,7 @@ mod tests {
 
     #[test]
     fn accepts_a_complete_document() {
-        assert_eq!(check(&doc(10)), Ok(19));
+        assert_eq!(check(&doc(10)), Ok(22));
     }
 
     #[test]
@@ -653,7 +702,30 @@ mod tests {
                 "\"sweep_parallel_ms\": 30.125",
                 "\"sweep_parallel_ms\": 101.125",
             );
-        assert_eq!(check(&text), Ok(19));
+        assert_eq!(check(&text), Ok(22));
+    }
+
+    #[test]
+    fn rejects_a_missing_perf_rate_row() {
+        let text = doc(10).replace("perf_generate", "perf_generate_v2");
+        let err = check(&text).unwrap_err();
+        assert!(err.contains("perf_generate missing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_zero_perf_rate() {
+        let text = doc(10).replace("\"rate_per_s\": 20000000", "\"rate_per_s\": 0");
+        let err = check(&text).unwrap_err();
+        assert!(
+            err.contains("perf_engine") && err.contains("zero data-plane rate"),
+            "{err}"
+        );
+        let text = doc(10).replace("\"work\": 32768", "\"work\": 0");
+        let err = check(&text).unwrap_err();
+        assert!(
+            err.contains("perf_generate") && err.contains("zero work"),
+            "{err}"
+        );
     }
 
     #[test]

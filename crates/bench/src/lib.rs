@@ -19,6 +19,8 @@
 //! * `HIPE_WORKERS` — host worker threads for the parallel sweeps and
 //!   cluster scatter phases (default 1, fully serial).
 
+pub mod perf;
+
 use hipe_db::SF1_ROWS;
 use std::hint::black_box;
 use std::time::{Duration, Instant};

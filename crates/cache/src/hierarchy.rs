@@ -7,6 +7,31 @@ use crate::LINE_BYTES;
 use hipe_hmc::{AccessKind, Hmc};
 use hipe_sim::{Cycle, Window};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-multiply hasher for line-address keys.
+///
+/// The `pending` fill maps are probed up to three times per demand
+/// miss on the hot path; they are only ever accessed by key (never
+/// iterated), so a fast non-sip hash changes no observable behavior.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("line addresses hash as u64");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap = HashMap<u64, Cycle, BuildHasherDefault<LineHasher>>;
 
 /// Hit/miss counters per level plus prefetch activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,7 +73,7 @@ struct Level {
     latency: Cycle,
     /// Lines with an in-flight fill (prefetch), keyed by line address,
     /// valued with the cycle the data arrives.
-    pending: HashMap<u64, Cycle>,
+    pending: LineMap,
 }
 
 impl Level {
@@ -57,7 +82,7 @@ impl Level {
             tags: SetArray::new(cfg.sets(), cfg.ways),
             mshr: Window::new(cfg.mshrs),
             latency: cfg.latency,
-            pending: HashMap::new(),
+            pending: LineMap::default(),
         }
     }
 }
@@ -91,6 +116,10 @@ pub struct CacheHierarchy {
     /// Line whose L2 miss should trigger the stream prefetcher once the
     /// demand access has been issued.
     pending_stream_trigger: Option<u64>,
+    /// Reused prediction buffer (the prefetchers fire on nearly every
+    /// demand access of a streaming scan; allocating per access is
+    /// measurable).
+    predictions: Vec<u64>,
 }
 
 impl CacheHierarchy {
@@ -104,6 +133,7 @@ impl CacheHierarchy {
             stream: StreamPrefetcher::new(cfg.stream_depth),
             stats: CacheStats::default(),
             pending_stream_trigger: None,
+            predictions: Vec::new(),
             cfg,
         }
     }
@@ -148,16 +178,20 @@ impl CacheHierarchy {
         let done = self.demand_line(mem, cycle, line, write);
         // Prefetches are issued after the demand so they never delay it
         // (hardware gives demands priority over prefetches).
-        let predictions = self.stride.observe(line);
-        for p in predictions {
+        let mut predictions = std::mem::take(&mut self.predictions);
+        predictions.clear();
+        self.stride.observe_into(line, &mut predictions);
+        for &p in &predictions {
             self.prefetch_into_l1(mem, cycle, p);
         }
         if let Some(miss_line) = self.pending_stream_trigger.take() {
-            let streams = self.stream.on_miss(miss_line);
-            for p in streams {
+            predictions.clear();
+            self.stream.on_miss_into(miss_line, &mut predictions);
+            for &p in &predictions {
                 self.prefetch_into_l2(mem, cycle, p);
             }
         }
+        self.predictions = predictions;
         done
     }
 

@@ -40,14 +40,21 @@ impl StridePrefetcher {
     /// Observes a demand access to the line containing `addr`; returns
     /// the line addresses to prefetch.
     pub fn observe(&mut self, addr: u64) -> Vec<u64> {
-        let line = addr / LINE_BYTES * LINE_BYTES;
         let mut out = Vec::new();
+        self.observe_into(addr, &mut out);
+        out
+    }
+
+    /// Allocation-free [`observe`](Self::observe): appends the
+    /// predicted line addresses to a caller-owned (reused) buffer.
+    pub fn observe_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        let line = addr / LINE_BYTES * LINE_BYTES;
         if self.degree == 0 {
-            return out;
+            return;
         }
         if let Some(prev) = self.last_line {
             if line == prev {
-                return out; // same line: no new information
+                return; // same line: no new information
             }
             let stride = line as i64 - prev as i64;
             if stride == self.stride {
@@ -66,7 +73,6 @@ impl StridePrefetcher {
             }
         }
         self.last_line = Some(line);
-        out
     }
 }
 
@@ -97,10 +103,16 @@ impl StreamPrefetcher {
     /// Returns the lines to prefetch after a miss on the line
     /// containing `addr`.
     pub fn on_miss(&self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.on_miss_into(addr, &mut out);
+        out
+    }
+
+    /// Allocation-free [`on_miss`](Self::on_miss): appends the stream
+    /// targets to a caller-owned (reused) buffer.
+    pub fn on_miss_into(&self, addr: u64, out: &mut Vec<u64>) {
         let line = addr / LINE_BYTES * LINE_BYTES;
-        (1..=self.depth as u64)
-            .map(|d| line + d * LINE_BYTES)
-            .collect()
+        out.extend((1..=self.depth as u64).map(|d| line + d * LINE_BYTES));
     }
 }
 

@@ -45,8 +45,9 @@ impl SetArray {
         let set = self.set_of(line_addr);
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|&(a, _)| a == line_addr) {
-            let (addr, dirty) = ways.remove(pos);
-            ways.insert(0, (addr, dirty || write));
+            let (addr, dirty) = ways[pos];
+            ways[..=pos].rotate_right(1);
+            ways[0] = (addr, dirty || write);
             true
         } else {
             false
@@ -66,10 +67,15 @@ impl SetArray {
         let set = self.set_of(line_addr);
         let lines = &mut self.sets[set];
         debug_assert!(!lines.iter().any(|&(a, _)| a == line_addr));
-        lines.insert(0, (line_addr, false));
-        if lines.len() > ways {
-            lines.pop()
+        if lines.len() == ways {
+            // Full set: the LRU way is the victim; rotate it out so the
+            // vector never outgrows its `ways` capacity.
+            let victim = *lines.last().expect("ways is non-zero");
+            lines.rotate_right(1);
+            lines[0] = (line_addr, false);
+            Some(victim)
         } else {
+            lines.insert(0, (line_addr, false));
             None
         }
     }

@@ -120,7 +120,12 @@ pub fn lower_hmc_scan(
         scanned: survivors.len(),
         pruned: regions - survivors.len(),
     };
-    let mut ops = Vec::with_capacity(survivors.len() * (npreds + 1) * (chunks + 1));
+    // Tight upper bound — per region: `npreds * chunks` dispatches,
+    // `(npreds - 1) * chunks` combines, `chunks` packs, at most one
+    // mask store and two loop ops. Plans run to tens of millions of
+    // ops at SF 1; an undersized guess would re-allocate (and copy)
+    // the whole stream mid-lowering.
+    let mut ops = Vec::with_capacity(survivors.len() * (2 * npreds * chunks + 3));
 
     for (j, &region) in survivors.iter().enumerate() {
         let chunk_base = region as u64 * region_bytes;

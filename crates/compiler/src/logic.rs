@@ -828,7 +828,7 @@ mod tests {
             CompileError::PredicateUnsatisfiable
         );
         assert_eq!(
-            lower_logic_aggregate(&q.clone().with_aggregate(), &layout, true, None).unwrap_err(),
+            lower_logic_aggregate(&q.with_aggregate(), &layout, true, None).unwrap_err(),
             CompileError::PredicateUnsatisfiable
         );
     }

@@ -96,9 +96,16 @@ pub(crate) fn execute(session: &mut Session<'_>, plan: &ExecutablePlan) -> RunRe
     // packed mask words the store stream modelled.
     let rows = sys.layout().rows();
     let hmc = session.hmc_mut();
-    let bitmask: Bitmask = (0..rows)
-        .map(|i| query.matches_with(|c| hmc.read_u64(sys.layout().value_addr(c, i)) as i64))
-        .collect();
+    let bitmask = Bitmask::from_fn(rows, |w| {
+        let start = w * 64;
+        let end = (start + 64).min(rows);
+        let mut bits = 0u64;
+        for i in start..end {
+            let hit = query.matches_with(|c| hmc.read_u64(sys.layout().value_addr(c, i)) as i64);
+            bits |= (hit as u64) << (i - start);
+        }
+        bits
+    });
     for (w, word) in bitmask.words().iter().enumerate() {
         hmc.write_u64(sys.mask_base() + w as u64 * 8, *word);
     }

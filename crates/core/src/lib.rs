@@ -96,5 +96,5 @@ pub use backend::{
 pub use hipe_compiler::CompileError;
 pub use hipe_db::{PruneStats, TableShape, ZoneMap};
 pub use report::{Arch, PartitionPhase, PhaseBreakdown, RunReport};
-pub use session::Session;
+pub use session::{PlanCache, Session};
 pub use system::{System, SystemConfig};

@@ -6,7 +6,55 @@ use crate::system::System;
 use hipe_db::Query;
 use hipe_hmc::Hmc;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// A compiled-plan cache shared by sessions over bit-identical
+/// systems — the replicas of one `hipe-serve` shard. Replicas are
+/// constructed from the same seed, rows and configuration, and
+/// compilation is deterministic, so a plan lowered against any of them
+/// is *the* plan for all of them: the first session to need an
+/// `(arch, query)` pair compiles it for every replica, cutting
+/// [`System::compilations`] by the replication factor.
+///
+/// Sessions keep their private per-arch map for lock-free hot-path
+/// hits; the shared map is consulted only on a local miss. The lock is
+/// held across the compile so racing sessions lower each key exactly
+/// once.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<(Arch, Query), Arc<ExecutablePlan>>>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of distinct `(arch, query)` plans cached so far.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Returns `true` if no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached plan for `(arch, query)`, lowering it against `sys`
+    /// on first use.
+    fn get_or_compile(&self, sys: &System, arch: Arch, query: &Query) -> Arc<ExecutablePlan> {
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        let plan = plans.entry((arch, query.clone())).or_insert_with(|| {
+            Arc::new(
+                System::backend(arch)
+                    .compile(sys, query)
+                    .expect("queries over a live system always compile"),
+            )
+        });
+        Arc::clone(plan)
+    }
+}
 
 /// A warm execution context over one [`System`].
 ///
@@ -45,6 +93,9 @@ pub struct Session<'a> {
     /// Keyed arch-first so the hot hit path looks up by `&Query`
     /// without cloning it.
     plans: HashMap<Arch, HashMap<Query, Arc<ExecutablePlan>>>,
+    /// Cross-session fallback consulted on a local miss; see
+    /// [`PlanCache`]. `None` for standalone sessions.
+    shared: Option<Arc<PlanCache>>,
 }
 
 // Compile-time guard for host-parallel co-simulation: a `System` must
@@ -60,6 +111,8 @@ const _: () = {
         _assert_send::<Session<'_>>();
         _assert_send::<Arc<ExecutablePlan>>();
         _assert_sync::<ExecutablePlan>();
+        _assert_send::<PlanCache>();
+        _assert_sync::<PlanCache>();
     }
 };
 
@@ -67,10 +120,21 @@ impl<'a> Session<'a> {
     /// Creates a session, materializing the table image (the one
     /// expensive setup step a warm batch amortizes).
     pub(crate) fn new(sys: &'a System) -> Self {
+        Session::build(sys, None)
+    }
+
+    /// Creates a session whose plan lookups fall back to a shared
+    /// [`PlanCache`] (see [`System::session_with_plans`]).
+    pub(crate) fn with_shared_plans(sys: &'a System, plans: Arc<PlanCache>) -> Self {
+        Session::build(sys, Some(plans))
+    }
+
+    fn build(sys: &'a System, shared: Option<Arc<PlanCache>>) -> Self {
         Session {
             sys,
             hmc: sys.fresh_hmc(),
             plans: HashMap::new(),
+            shared,
         }
     }
 
@@ -127,16 +191,29 @@ impl<'a> Session<'a> {
         if let Some(plan) = self.plans.get(&arch).and_then(|m| m.get(query)) {
             return Arc::clone(plan);
         }
-        let plan = Arc::new(
-            System::backend(arch)
-                .compile(self.sys, query)
-                .expect("queries over a live system always compile"),
-        );
+        let plan = match &self.shared {
+            Some(cache) => cache.get_or_compile(self.sys, arch, query),
+            None => Arc::new(
+                System::backend(arch)
+                    .compile(self.sys, query)
+                    .expect("queries over a live system always compile"),
+            ),
+        };
         self.plans
             .entry(arch)
             .or_default()
             .insert(query.clone(), Arc::clone(&plan));
         plan
+    }
+
+    /// Rewrites the table image in place over the warm cube — the
+    /// zero-copy rematerialization path. Every image byte (column
+    /// arrays, alignment padding, mask and aggregate areas) is
+    /// overwritten, so the next run is bit- and cycle-identical to a
+    /// cold one even after arbitrary scribbling on the image. Counts
+    /// one [`System::materializations`].
+    pub fn rematerialize(&mut self) {
+        self.sys.rematerialize_into(&mut self.hmc);
     }
 
     /// Executes an already-compiled plan against the warm image.

@@ -2,7 +2,7 @@
 
 use crate::backend::{Backend, HipeBackend, HiveBackend, HmcIsaBackend, HostX86Backend};
 use crate::report::{Arch, RunReport};
-use crate::session::Session;
+use crate::session::{PlanCache, Session};
 use hipe_cache::HierarchyConfig;
 use hipe_compiler::STOCK_HMC_OP;
 use hipe_cpu::CoreConfig;
@@ -11,6 +11,7 @@ use hipe_db::{Bitmask, Column, DsmLayout, LineitemTable, Query, TableShape, Zone
 use hipe_hmc::{Hmc, HmcConfig};
 use hipe_logic::LogicConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Configuration of a full system: workload size plus the paper's
 /// component parameters (all overridable for experiments).
@@ -271,12 +272,29 @@ impl System {
         Session::new(self)
     }
 
+    /// Opens a warm session whose plan lookups fall back to `plans`, a
+    /// [`PlanCache`] shared with sessions over bit-identical systems
+    /// (the replicas of a `hipe-serve` shard): each `(arch, query)`
+    /// pair is lowered once per cache, not once per session.
+    pub fn session_with_plans(&self, plans: Arc<PlanCache>) -> Session<'_> {
+        Session::with_shared_plans(self, plans)
+    }
+
     /// Builds a cold cube populated with the table image.
     pub(crate) fn fresh_hmc(&self) -> Hmc {
-        self.materializations.fetch_add(1, Ordering::Relaxed);
         let mut hmc = Hmc::new(self.cfg.hmc.clone(), self.image_len);
-        hmc.write_bytes(self.layout.base(), &self.layout.materialize(&self.table));
+        self.rematerialize_into(&mut hmc);
         hmc
+    }
+
+    /// Writes the table image straight into `hmc`'s backing bytes —
+    /// the zero-copy materialization path (no image-sized temporary).
+    /// Overwrites every image byte, restoring the exact cold image,
+    /// and counts one materialization.
+    pub(crate) fn rematerialize_into(&self, hmc: &mut Hmc) {
+        self.materializations.fetch_add(1, Ordering::Relaxed);
+        let image = hmc.bytes_mut(self.layout.base(), self.image_len);
+        self.layout.materialize_into(&self.table, image);
     }
 
     /// Executes `query` on `arch` and reports results and measurements.

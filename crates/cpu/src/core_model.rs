@@ -127,19 +127,20 @@ impl Core {
             .max(self.dep_ready(op.dep1))
             .max(self.dep_ready(op.dep2));
 
-        let cfg = self.cfg;
         let end = match op.kind {
-            MicroOpKind::IntAlu => self.int_alu.serve(ready, cfg.int_alu_latency).1,
-            MicroOpKind::IntMul => self.int_mul.serve(ready, cfg.int_mul_latency).1,
-            MicroOpKind::IntDiv => self.int_div.serve(ready, cfg.int_div_latency).1,
-            MicroOpKind::FpAlu => self.fp_alu.serve(ready, cfg.fp_alu_latency).1,
-            MicroOpKind::FpMul => self.fp_mul.serve(ready, cfg.fp_mul_latency).1,
-            MicroOpKind::FpDiv => self.fp_div.serve(ready, cfg.fp_div_latency).1,
+            MicroOpKind::IntAlu => self.int_alu.serve(ready, self.cfg.int_alu_latency).1,
+            MicroOpKind::IntMul => self.int_mul.serve(ready, self.cfg.int_mul_latency).1,
+            MicroOpKind::IntDiv => self.int_div.serve(ready, self.cfg.int_div_latency).1,
+            MicroOpKind::FpAlu => self.fp_alu.serve(ready, self.cfg.fp_alu_latency).1,
+            MicroOpKind::FpMul => self.fp_mul.serve(ready, self.cfg.fp_mul_latency).1,
+            MicroOpKind::FpDiv => self.fp_div.serve(ready, self.cfg.fp_div_latency).1,
             MicroOpKind::VecAlu { size } => {
                 // Wide vector ops occupy an ALU pipe for one cycle per
                 // `vector_bytes_per_cycle` chunk.
-                let cycles = size.bytes().div_ceil(cfg.vector_bytes_per_cycle);
-                self.int_alu.serve(ready, cycles.max(cfg.int_alu_latency)).1
+                let cycles = size.bytes().div_ceil(self.cfg.vector_bytes_per_cycle);
+                self.int_alu
+                    .serve(ready, cycles.max(self.cfg.int_alu_latency))
+                    .1
             }
             MicroOpKind::Load { addr, bytes } => {
                 self.stats.loads += 1;
@@ -159,10 +160,10 @@ impl Core {
             }
             MicroOpKind::Branch { mispredict } => {
                 self.stats.branches += 1;
-                let end = self.int_alu.serve(ready, cfg.int_alu_latency).1;
+                let end = self.int_alu.serve(ready, self.cfg.int_alu_latency).1;
                 if mispredict {
                     self.stats.mispredicts += 1;
-                    self.front_end = self.front_end.max(end + cfg.mispredict_penalty);
+                    self.front_end = self.front_end.max(end + self.cfg.mispredict_penalty);
                 }
                 end
             }

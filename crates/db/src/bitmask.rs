@@ -38,6 +38,39 @@ impl Bitmask {
         m
     }
 
+    /// Builds a mask over `len` tuples one packed word at a time:
+    /// `f(w)` supplies the 64-tuple word `w` in the format of
+    /// [`Bitmask::words`]. Bits past `len` in the last word are
+    /// discarded, so `f` may fill its final word without masking.
+    ///
+    /// This is the allocation-free counterpart of collecting a
+    /// `FromIterator<bool>` per tuple: scan kernels evaluate 64 rows
+    /// into a register and hand the finished word over.
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> u64) -> Self {
+        let mut m = Bitmask {
+            words: (0..len.div_ceil(64)).map(f).collect(),
+            len,
+        };
+        m.trim();
+        m
+    }
+
+    /// Overwrites packed word `w` (tuples `[64 * w, 64 * w + 64)`) with
+    /// `bits`. Bits past `len` in the last word are discarded, keeping
+    /// the zero-tail invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not a valid word index.
+    #[inline]
+    pub fn set_word(&mut self, w: usize, bits: u64) {
+        assert!(w < self.words.len(), "word {w} out of range");
+        self.words[w] = bits;
+        if w + 1 == self.words.len() {
+            self.trim();
+        }
+    }
+
     fn trim(&mut self) {
         let extra = self.words.len() * 64 - self.len;
         if extra > 0 {
@@ -48,11 +81,13 @@ impl Bitmask {
     }
 
     /// Number of tuples covered.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Returns `true` if the mask covers zero tuples.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -62,6 +97,7 @@ impl Bitmask {
     /// # Panics
     ///
     /// Panics if `i >= len`.
+    #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} out of range {}", self.len);
         self.words[i / 64] >> (i % 64) & 1 == 1
@@ -72,6 +108,7 @@ impl Bitmask {
     /// # Panics
     ///
     /// Panics if `i >= len`.
+    #[inline]
     pub fn set(&mut self, i: usize) {
         assert!(i < self.len, "bit {i} out of range {}", self.len);
         self.words[i / 64] |= 1 << (i % 64);
@@ -82,12 +119,14 @@ impl Bitmask {
     /// # Panics
     ///
     /// Panics if `i >= len`.
+    #[inline]
     pub fn clear(&mut self, i: usize) {
         assert!(i < self.len, "bit {i} out of range {}", self.len);
         self.words[i / 64] &= !(1 << (i % 64));
     }
 
     /// Assigns bit `i`.
+    #[inline]
     pub fn assign(&mut self, i: usize, v: bool) {
         if v {
             self.set(i)
@@ -102,6 +141,7 @@ impl Bitmask {
     ///
     /// This is exactly the in-memory format the simulated scan kernels
     /// store at the mask output area.
+    #[inline]
     pub fn words(&self) -> &[u64] {
         &self.words
     }
@@ -194,15 +234,24 @@ impl Iterator for IterOnes<'_> {
 }
 
 impl FromIterator<bool> for Bitmask {
+    /// Packs the bools into words as they stream by — no intermediate
+    /// `Vec<bool>`, and the zero-tail invariant holds by construction.
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let bits: Vec<bool> = iter.into_iter().collect();
-        let mut m = Bitmask::zeros(bits.len());
-        for (i, b) in bits.into_iter().enumerate() {
-            if b {
-                m.set(i);
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        let mut word = 0u64;
+        for b in iter {
+            word |= (b as u64) << (len % 64);
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(word);
+                word = 0;
             }
         }
-        m
+        if !len.is_multiple_of(64) {
+            words.push(word);
+        }
+        Bitmask { words, len }
     }
 }
 
@@ -231,9 +280,8 @@ mod tests {
 
     #[test]
     fn and_intersects() {
-        let a: Bitmask = (0..10).map(|i| i % 2 == 0).collect();
         let b: Bitmask = (0..10).map(|i| i < 5).collect();
-        let mut c = a.clone();
+        let mut c: Bitmask = (0..10).map(|i| i % 2 == 0).collect();
         c.and_with(&b);
         assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
     }
@@ -247,6 +295,51 @@ mod tests {
         assert_eq!(m.words(), &[1 | (1 << 63), 2]);
         // Trailing bits beyond `len` stay zero even after `ones`.
         assert_eq!(Bitmask::ones(70).words()[1], 0b11_1111);
+    }
+
+    #[test]
+    fn from_fn_matches_per_bit_collect() {
+        for len in [0usize, 1, 63, 64, 65, 130, 200] {
+            let per_bit: Bitmask = (0..len).map(|i| i % 3 == 0).collect();
+            let per_word = Bitmask::from_fn(len, |w| {
+                let mut bits = 0u64;
+                for b in 0..64 {
+                    let i = w * 64 + b;
+                    if i < len && i % 3 == 0 {
+                        bits |= 1 << b;
+                    }
+                }
+                bits
+            });
+            assert_eq!(per_bit, per_word, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_fn_discards_bits_past_len() {
+        // An all-ones generator must still respect the zero tail.
+        let m = Bitmask::from_fn(70, |_| !0u64);
+        assert_eq!(m, Bitmask::ones(70));
+        assert_eq!(m.count_ones(), 70);
+    }
+
+    #[test]
+    fn set_word_overwrites_and_trims() {
+        let mut m = Bitmask::zeros(70);
+        m.set_word(0, 0b101);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        m.set_word(0, 0b010);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![1]);
+        // The last word trims bits past len.
+        m.set_word(1, !0u64);
+        assert_eq!(m.count_ones(), 1 + 6);
+        assert_eq!(m.words()[1], 0b11_1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_word_out_of_range_panics() {
+        Bitmask::zeros(64).set_word(1, 0);
     }
 
     #[test]

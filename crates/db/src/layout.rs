@@ -359,18 +359,54 @@ impl DsmLayout {
         self.agg_base() - self.base + self.agg_area_bytes()
     }
 
-    /// Serializes the table into bytes laid out per this layout
-    /// (relative to `base`).
-    pub fn materialize(&self, table: &LineitemTable) -> Vec<u8> {
+    /// Writes the full table image — column arrays, alignment padding,
+    /// and the zeroed mask and aggregate output areas — directly into
+    /// `image`, which must span exactly
+    /// [`image_bytes`](Self::image_bytes) starting at
+    /// [`base`](Self::base).
+    ///
+    /// This is the zero-copy materialization path: callers hand over
+    /// the cube's own backing bytes and no image-sized temporary is
+    /// ever allocated. Every byte of `image` is overwritten, so
+    /// rematerializing over a dirty (post-run) image restores the
+    /// exact cold image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's row count differs from the layout's or if
+    /// `image` is not exactly `image_bytes()` long.
+    pub fn materialize_into(&self, table: &LineitemTable, image: &mut [u8]) {
         assert_eq!(self.rows, table.rows(), "layout row count mismatch");
-        let mut out = vec![0u8; self.bytes() as usize];
+        assert_eq!(
+            image.len() as u64,
+            self.image_bytes(),
+            "image slice does not span the layout"
+        );
+        let stride = self.stride as usize;
+        let data = self.rows * COLUMN_BYTES as usize;
         for c in Column::ALL {
-            let cb = (self.column_base(c) - self.base) as usize;
-            for (i, &v) in table.column(c).iter().enumerate() {
-                let off = cb + i * COLUMN_BYTES as usize;
-                out[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            let start = c.index() * stride;
+            let (vals, pad) = image[start..start + stride].split_at_mut(data);
+            for (dst, v) in vals
+                .chunks_exact_mut(COLUMN_BYTES as usize)
+                .zip(table.column(c))
+            {
+                dst.copy_from_slice(&v.to_le_bytes());
             }
+            pad.fill(0);
         }
+        // Mask and aggregate output areas start a run all-zero.
+        image[self.bytes() as usize..].fill(0);
+    }
+
+    /// Serializes the table into a fresh image vector laid out per this
+    /// layout (relative to `base`; spans the whole
+    /// [`image_bytes`](Self::image_bytes) footprint). Thin wrapper over
+    /// [`materialize_into`](Self::materialize_into) for callers without
+    /// a resident image.
+    pub fn materialize(&self, table: &LineitemTable) -> Vec<u8> {
+        let mut out = vec![0u8; self.image_bytes() as usize];
+        self.materialize_into(table, &mut out);
         out
     }
 }

@@ -26,20 +26,29 @@ pub struct ScanResult {
 /// processing model of the paper's Figure 1a).
 pub fn tuple_at_a_time(table: &LineitemTable, query: &Query) -> ScanResult {
     let rows = table.rows();
-    let mut bitmask = Bitmask::zeros(rows);
     let mut matches = 0;
     let mut agg: i128 = 0;
-    for i in 0..rows {
-        let hit = query.matches_with(|c| table.value(c, i));
-        if hit {
-            bitmask.set(i);
-            matches += 1;
-            if query.aggregates() {
-                agg += table.value(Column::ExtendedPrice, i) as i128
-                    * table.value(Column::Discount, i) as i128;
+    // Evaluate 64 tuples per packed word: matches accumulate into a
+    // register and land in the mask one word at a time, with the same
+    // row-major visit order (and thus the identical aggregate sum) as
+    // the historical per-bit loop.
+    let bitmask = Bitmask::from_fn(rows, |w| {
+        let start = w * 64;
+        let end = (start + 64).min(rows);
+        let mut bits = 0u64;
+        for i in start..end {
+            let hit = query.matches_with(|c| table.value(c, i));
+            if hit {
+                bits |= 1 << (i - start);
+                matches += 1;
+                if query.aggregates() {
+                    agg += table.value(Column::ExtendedPrice, i) as i128
+                        * table.value(Column::Discount, i) as i128;
+                }
             }
         }
-    }
+        bits
+    });
     ScanResult {
         bitmask,
         matches,
@@ -53,10 +62,21 @@ pub fn tuple_at_a_time(table: &LineitemTable, query: &Query) -> ScanResult {
 pub fn column_at_a_time(table: &LineitemTable, query: &Query) -> ScanResult {
     let rows = table.rows();
     let mut bitmask = Bitmask::ones(rows);
+    // One reusable scratch mask for every predicate pass: each column
+    // is evaluated 64 rows per word into a register, the finished word
+    // overwrites the scratch slot, and the running mask intersects it.
+    // No per-predicate allocation.
+    let mut scratch = Bitmask::zeros(rows);
     for p in query.predicates() {
         let col = table.column(p.column);
-        let this: Bitmask = col.iter().map(|&v| p.cmp.eval(v)).collect();
-        bitmask.and_with(&this);
+        for (w, chunk) in col.chunks(64).enumerate() {
+            let mut bits = 0u64;
+            for (b, &v) in chunk.iter().enumerate() {
+                bits |= (p.cmp.eval(v) as u64) << b;
+            }
+            scratch.set_word(w, bits);
+        }
+        bitmask.and_with(&scratch);
     }
     let matches = bitmask.count_ones();
     let aggregate = query.aggregates().then(|| {

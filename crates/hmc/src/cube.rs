@@ -161,8 +161,8 @@ impl Hmc {
         // Bank phase.
         let mut done = at_cube;
         let write = matches!(kind, AccessKind::Write);
-        let segs: Vec<(u64, u64)> = self.mapping.split(addr, bytes).collect();
-        for (a, l) in segs {
+        let mapping = self.mapping;
+        for (a, l) in mapping.split(addr, bytes) {
             let d = self.bank_access(at_cube, a, l, write);
             done = done.max(d);
         }
@@ -212,9 +212,9 @@ impl Hmc {
     /// Performs a logic-layer access (HIVE/HIPE engine): touches the
     /// banks directly, bypassing the links.
     pub fn internal_read(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
-        let segs: Vec<(u64, u64)> = self.mapping.split(addr, bytes).collect();
+        let mapping = self.mapping;
         let mut done = cycle;
-        for (a, l) in segs {
+        for (a, l) in mapping.split(addr, bytes) {
             done = done.max(self.bank_access(cycle, a, l, false));
         }
         done
@@ -222,9 +222,9 @@ impl Hmc {
 
     /// Logic-layer write path; see [`internal_read`](Self::internal_read).
     pub fn internal_write(&mut self, cycle: Cycle, addr: u64, bytes: u64) -> Cycle {
-        let segs: Vec<(u64, u64)> = self.mapping.split(addr, bytes).collect();
+        let mapping = self.mapping;
         let mut done = cycle;
-        for (a, l) in segs {
+        for (a, l) in mapping.split(addr, bytes) {
             done = done.max(self.bank_access(cycle, a, l, true));
         }
         done
@@ -307,6 +307,19 @@ impl Hmc {
     /// Panics if the range is outside the image.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
         self.mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Mutable functional view of `len` image bytes at `addr` — the
+    /// zero-copy write path: producers (table materialization, engine
+    /// stores) serialize straight into the cube's backing memory
+    /// instead of staging through a scratch buffer and
+    /// [`write_bytes`](Self::write_bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the image.
+    pub fn bytes_mut(&mut self, addr: u64, len: usize) -> &mut [u8] {
+        &mut self.mem[addr as usize..addr as usize + len]
     }
 
     /// Functional in-place zeroing of `len` image bytes at `addr`
@@ -473,6 +486,14 @@ mod tests {
         h.zero_bytes(0x100, 8);
         assert_eq!(h.read_u64(0x100), 0);
         assert_eq!(h.read_u64(0x108), 88);
+    }
+
+    #[test]
+    fn bytes_mut_writes_through_to_the_image() {
+        let mut h = cube();
+        h.bytes_mut(0x40, 8).copy_from_slice(&99u64.to_le_bytes());
+        assert_eq!(h.read_u64(0x40), 99);
+        assert_eq!(h.read_bytes(0x40, 8), 99u64.to_le_bytes());
     }
 
     #[test]

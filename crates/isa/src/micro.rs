@@ -25,15 +25,12 @@ pub enum VaultOp {
     LoadAnd,
     /// Read-modify-write add of an immediate (stock HMC-style update,
     /// used by extension workloads).
+    ///
+    /// Row-store tuple conjunctions stay a logic-layer operation
+    /// ([`crate::AluOp::TupleMatch`]): carrying their fat field-range
+    /// payload here would quadruple the size of *every* [`MicroOp`] in
+    /// the multi-million-entry host plans.
     AddImm(i64),
-    /// Fused row-store tuple conjunction (same semantics as
-    /// [`crate::AluOp::TupleMatch`]) returning a per-tuple match mask.
-    TupleMatch {
-        /// Up to three field predicates.
-        fields: [Option<crate::FieldRange>; 3],
-        /// Fields per tuple.
-        stride: u8,
-    },
 }
 
 /// The kind of a micro-operation.

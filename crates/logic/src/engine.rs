@@ -234,25 +234,25 @@ impl Engine {
 }
 
 /// Reads `size` bytes at `addr` from the cube image as i64 lanes
-/// (unused high lanes zeroed).
+/// (unused high lanes zeroed). Lanes decode straight off the borrowed
+/// image slice — no per-lane byte staging.
 fn read_lanes(hmc: &Hmc, addr: u64, size: OpSize) -> [i64; LANES] {
     let mut out = [0i64; LANES];
     let bytes = hmc.read_bytes(addr, size.bytes() as usize);
-    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(chunk);
-        out[i] = i64::from_le_bytes(b);
+    for (lane, chunk) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+        *lane = i64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
     }
     out
 }
 
-/// Writes the low `size` bytes of `lanes` to the cube image.
+/// Writes the low `size` bytes of `lanes` to the cube image, encoding
+/// each lane directly into the borrowed image slice — the store path
+/// allocates nothing.
 fn write_lanes(hmc: &mut Hmc, addr: u64, size: OpSize, lanes: &[i64; LANES]) {
-    let mut buf = Vec::with_capacity(size.bytes() as usize);
-    for lane in lanes.iter().take(size.lanes()) {
-        buf.extend_from_slice(&lane.to_le_bytes());
+    let image = hmc.bytes_mut(addr, size.bytes() as usize);
+    for (chunk, lane) in image.chunks_exact_mut(8).zip(lanes) {
+        chunk.copy_from_slice(&lane.to_le_bytes());
     }
-    hmc.write_bytes(addr, &buf);
 }
 
 /// Lane-wise functional evaluation. `dst` holds the destination's

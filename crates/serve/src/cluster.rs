@@ -1,10 +1,11 @@
 //! The sharding layer: one query, N cube shards, combined answers.
 
-use hipe::{Arch, RunReport, Session, System, SystemConfig, TableShape};
+use hipe::{Arch, PlanCache, RunReport, Session, System, SystemConfig, TableShape};
 use hipe_db::scan::ScanResult;
 use hipe_db::{Bitmask, Query};
 use hipe_sim::{Cycle, WorkerPool};
 use std::ops::Range;
+use std::sync::Arc;
 
 // Compile-time guard for host-parallel co-simulation: shard cubes and
 // their warm sessions cross worker-thread boundaries in the scatter
@@ -110,12 +111,23 @@ impl ClusterConfig {
 pub struct ReplicaSet {
     rows: Range<usize>,
     replicas: Vec<System>,
+    /// One compiled-plan cache for the whole set: replicas are
+    /// bit-identical, so their compiled plans are too, and every
+    /// replica session opened over this set shares it
+    /// ([`System::session_with_plans`]) — each `(arch, query)` pair is
+    /// lowered once per shard, not once per replica.
+    plans: Arc<PlanCache>,
 }
 
 impl ReplicaSet {
     /// Global row range this set serves.
     pub fn rows(&self) -> Range<usize> {
         self.rows.clone()
+    }
+
+    /// The compiled-plan cache shared by this set's replica sessions.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plans
     }
 
     /// Number of replicas backing the range.
@@ -265,6 +277,7 @@ impl Cluster {
                     })
                 })
                 .collect(),
+            plans: Arc::new(PlanCache::new()),
         });
         Cluster {
             cfg,
@@ -353,14 +366,20 @@ impl Cluster {
 
     /// Opens a warm cluster session: one materialized cube image per
     /// replica of every shard, plan caches warm across the whole
-    /// batch. Image materialization fans out over the worker pool —
-    /// each replica's image is built independently, so the warm state
-    /// is identical at every worker count.
+    /// batch. Replica sessions of a shard share the shard's
+    /// [`PlanCache`], so each `(arch, query)` pair is lowered once per
+    /// shard no matter how many replicas serve it. Image
+    /// materialization fans out over the worker pool — each replica's
+    /// image is built independently, so the warm state is identical at
+    /// every worker count.
     pub fn session(&self) -> ClusterSession<'_> {
         ClusterSession {
             cluster: self,
             sessions: self.pool.run(self.sets.iter().collect(), |_, set| {
-                set.replicas.iter().map(System::session).collect()
+                set.replicas
+                    .iter()
+                    .map(|sys| sys.session_with_plans(Arc::clone(&set.plans)))
+                    .collect()
             }),
         }
     }
@@ -689,6 +708,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn replicated_cluster_compiles_once_per_shard_and_query() {
+        // 4 shards x 2 replicas: every (arch, query) pair must be
+        // lowered exactly once per shard — the replicas of a shard
+        // share one plan cache (replicas are bit-identical, so plans
+        // are too). Before the shared cache this counted once per
+        // *replica*, i.e. 2x.
+        let c = Cluster::replicated(1024, 7, 4, 2);
+        let mut session = c.session();
+        let queries = [Query::q6(), Query::quantity_below_permille(200)];
+        let archs = [Arch::Hipe, Arch::HostX86];
+        for &arch in &archs {
+            for q in &queries {
+                for r in 0..c.replicas() {
+                    let routed = session.run_routed(arch, q, &vec![r; c.shards()]);
+                    assert_eq!(routed.result.bitmask.len(), 1024);
+                }
+            }
+        }
+        // 4 shards x 2 archs x 2 queries = 16 lowerings, replicas free.
+        assert_eq!(c.compilations(), 16);
+        for s in 0..c.shards() {
+            assert_eq!(c.replica_set(s).plan_cache().len(), 4);
+            assert!(!c.replica_set(s).plan_cache().is_empty());
+        }
+        // A rerun of the whole mix stays fully cached.
+        for &arch in &archs {
+            for q in &queries {
+                let _ = session.run(arch, q);
+            }
+        }
+        assert_eq!(c.compilations(), 16);
     }
 
     #[test]

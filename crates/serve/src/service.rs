@@ -206,9 +206,12 @@ pub struct ServiceReport {
     /// by the profile pass (and therefore across routings and
     /// failovers).
     pub answers: Vec<ScanResult>,
-    /// Query compilations this run performed across all shards (the
-    /// plan cache keeps it at one per distinct mix query per shard,
-    /// however many queries were served).
+    /// Query compilations this run performed across all shards —
+    /// real lowerings only. Each shard's replicas share one
+    /// [`PlanCache`](hipe::PlanCache) (replicas are bit-identical, so
+    /// their plans are too), so the count is one per distinct mix
+    /// query per *shard*, however many replicas serve it or queries
+    /// were served.
     pub compilations: u64,
     /// Table materializations this run performed (one per shard: the
     /// run opens a single warm session over the cluster).

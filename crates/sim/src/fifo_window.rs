@@ -71,6 +71,7 @@ impl FifoWindow {
     /// Requests admission at `arrival`; returns the earliest admission
     /// cycle (waiting for the oldest entry to retire when full). Must
     /// be paired with exactly one [`complete`](Self::complete).
+    #[inline]
     pub fn admit(&mut self, arrival: Cycle) -> Cycle {
         self.admitted += 1;
         if self.retire.len() < self.capacity {
@@ -85,6 +86,7 @@ impl FifoWindow {
     /// Registers the completion cycle of the entry admitted most
     /// recently; its retire time is clamped to preserve in-order
     /// retirement.
+    #[inline]
     pub fn complete(&mut self, completion: Cycle) {
         self.last_retire = self.last_retire.max(completion);
         self.retire.push_back(self.last_retire);

@@ -53,6 +53,7 @@ impl ThroughputPipe {
 
     /// Transfers `bytes` starting no earlier than `arrival`; returns the
     /// cycle at which the last byte has arrived at the far end.
+    #[inline]
     pub fn transfer(&mut self, arrival: Cycle, bytes: u64) -> Cycle {
         let start = arrival.max(self.next_free);
         let ser = div_ceil(bytes * self.den, self.num);

@@ -46,6 +46,7 @@ impl Server {
 
     /// Serves a request arriving at `arrival` that needs `duration`
     /// cycles, returning `(start, completion)`.
+    #[inline]
     pub fn serve(&mut self, arrival: Cycle, duration: Cycle) -> (Cycle, Cycle) {
         let start = arrival.max(self.next_free);
         let end = start + duration;
@@ -96,6 +97,7 @@ impl Server {
     /// `occupancy` cycles while the request completes after `duration`
     /// cycles (`occupancy <= duration`). Used for pipelined resources
     /// whose result latency exceeds their initiation interval.
+    #[inline]
     pub fn serve_pipelined(
         &mut self,
         arrival: Cycle,
@@ -197,15 +199,19 @@ impl MultiServer {
 
     /// Serves a request on the earliest-free unit, returning
     /// `(start, completion)`.
+    #[inline]
     pub fn serve(&mut self, arrival: Cycle, duration: Cycle) -> (Cycle, Cycle) {
-        // Find the unit that frees up first.
-        let (idx, _) = self
-            .units
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| **c)
-            .expect("pool is non-empty");
-        let start = arrival.max(self.units[idx]);
+        // Find the unit that frees up first (first-lowest, matching
+        // `Iterator::min_by_key` tie-breaking).
+        let mut idx = 0;
+        let mut free = self.units[0];
+        for (i, &c) in self.units.iter().enumerate().skip(1) {
+            if c < free {
+                idx = i;
+                free = c;
+            }
+        }
+        let start = arrival.max(free);
         let end = start + duration;
         self.units[idx] = end;
         self.busy += duration;

@@ -1,0 +1,129 @@
+//! Properties of the zero-copy materialization path.
+//!
+//! The contract under test: [`DsmLayout::materialize_into`] writing
+//! straight into a resident image slice is byte-for-byte identical to
+//! the allocating [`DsmLayout::materialize`] wrapper — over plain,
+//! partitioned and row-offset layouts, including the remainder region
+//! at the tail — and a session whose cube image is rematerialized in
+//! place replays its workload bit- and cycle-identically to the cold
+//! run.
+
+use hipe::{Arch, System};
+use hipe_db::{Column, DsmLayout, LineitemTable, Query, COLUMN_BYTES, REGION_BYTES, VAULTS};
+
+const SEED: u64 = 77;
+
+/// One full vault sweep — the base alignment partitioned layouts
+/// require.
+const SWEEP: u64 = VAULTS as u64 * REGION_BYTES;
+
+/// (rows, partitions, base) layouts covering one-region tables, full
+/// partition fans, non-zero base addresses and ragged remainder
+/// regions (row counts straddling the 64-row mask words and the
+/// region size).
+const CASES: [(usize, usize, u64); 6] = [
+    (100, 1, 0),
+    (4096, 4, 0),
+    (1000, 8, 0),
+    (257, 1, 96),
+    (33, 2, SWEEP),
+    (64, 32, 0),
+];
+
+fn layout_for(rows: usize, partitions: usize, base: u64) -> DsmLayout {
+    if partitions == 1 {
+        DsmLayout::new(base, rows)
+    } else {
+        DsmLayout::partitioned(base, rows, partitions)
+    }
+}
+
+#[test]
+fn in_place_materialization_is_byte_identical_to_the_allocating_path() {
+    for (rows, partitions, base) in CASES {
+        let table = LineitemTable::generate(rows, SEED);
+        let layout = layout_for(rows, partitions, base);
+        let reference = layout.materialize(&table);
+        assert_eq!(
+            reference.len() as u64,
+            layout.image_bytes(),
+            "{rows}x{partitions}@{base}: allocating path spans the image"
+        );
+
+        // A dirty target: every stale byte must be overwritten, so the
+        // column padding, mask area and aggregate area all come back
+        // zeroed rather than inherited.
+        let mut image = vec![0xAB_u8; layout.image_bytes() as usize];
+        layout.materialize_into(&table, &mut image);
+        assert_eq!(
+            image, reference,
+            "{rows}x{partitions}@{base}: in-place image diverges"
+        );
+    }
+}
+
+#[test]
+fn materialized_columns_round_trip_every_value() {
+    for (rows, partitions, base) in CASES {
+        let table = LineitemTable::generate(rows, SEED);
+        let layout = layout_for(rows, partitions, base);
+        let mut image = vec![0xCD_u8; layout.image_bytes() as usize];
+        layout.materialize_into(&table, &mut image);
+        for c in Column::ALL {
+            for (i, &v) in table.column(c).iter().enumerate() {
+                let at = (layout.value_addr(c, i) - base) as usize;
+                let got = i64::from_le_bytes(
+                    image[at..at + COLUMN_BYTES as usize]
+                        .try_into()
+                        .expect("column value is 8 bytes"),
+                );
+                assert_eq!(got, v, "{rows}x{partitions}@{base}: {c:?}[{i}] corrupted");
+            }
+        }
+        // Everything past the column data — mask and aggregate areas —
+        // is zeroed, not left to the caller.
+        let tail = (layout.mask_base() - base) as usize;
+        assert!(
+            image[tail..].iter().all(|&b| b == 0),
+            "{rows}x{partitions}@{base}: mask/agg area not zeroed"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "does not span the layout")]
+fn a_short_image_slice_is_rejected() {
+    let table = LineitemTable::generate(64, SEED);
+    let layout = DsmLayout::new(0, 64);
+    let mut image = vec![0u8; layout.image_bytes() as usize - 1];
+    layout.materialize_into(&table, &mut image);
+}
+
+#[test]
+fn warm_runs_after_in_place_rematerialization_match_cold_runs() {
+    let sys = System::new(2048, SEED);
+    let queries = [Query::q6(), Query::quantity_below_permille(250)];
+    for arch in Arch::ALL {
+        let mut session = sys.session();
+        let cold: Vec<_> = queries.iter().map(|q| session.run(arch, q)).collect();
+        session.rematerialize();
+        for (q, before) in queries.iter().zip(&cold) {
+            let after = session.run(arch, q);
+            assert_eq!(
+                before.result, after.result,
+                "{arch} on [{q}]: result drifted after rematerialization"
+            );
+            assert_eq!(
+                before.cycles, after.cycles,
+                "{arch} on [{q}]: cycles drifted after rematerialization"
+            );
+        }
+    }
+    // Each session materializes once at construction; the explicit
+    // rematerializations are the only extra image writes.
+    assert_eq!(
+        sys.materializations(),
+        2 * Arch::ALL.len() as u64,
+        "unexpected materialization count"
+    );
+}
