@@ -8,6 +8,10 @@
 //!
 //! Run with `cargo bench -p hipe-bench --bench components`.
 
+// The bench harness is the terminal boundary of the workspace: the
+// library-wide print lints stop here.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use hipe_sim::{FifoWindow, MultiServer, Server, ThroughputPipe, Window};
 use std::hint::black_box;
 

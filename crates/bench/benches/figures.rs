@@ -69,6 +69,10 @@
 //! table with `HIPE_BENCH_ROWS` or `HIPE_BENCH_SF`, and fan the
 //! sweeps out over host threads with `HIPE_WORKERS`.
 
+// The bench harness is the terminal boundary of the workspace: the
+// library-wide print lints stop here.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use hipe::{Arch, RunReport, System, SystemConfig, TableShape};
 use hipe_db::Query;
 use hipe_serve::{run_service, Cluster, ClusterConfig, FaultPlan, ServiceConfig, ServiceReport};

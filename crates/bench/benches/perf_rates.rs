@@ -7,6 +7,10 @@
 //! [`hipe_bench::perf::PERF_ROWS_CAP`] rows), the time budget with
 //! `HIPE_BENCH_MS`, and the generation fan-out with `HIPE_WORKERS`.
 
+// The bench harness is the terminal boundary of the workspace: the
+// library-wide print lints stop here.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use hipe_bench::perf::{measure, PERF_ROWS_CAP};
 use hipe_sim::WorkerPool;
 

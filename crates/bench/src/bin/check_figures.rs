@@ -53,6 +53,17 @@
 //! `host_cpus` ≥ 2 — a single-core runner cannot demonstrate a
 //! speedup, only determinism.
 //!
+//! With `--trace [PATH]` the binary validates a Chrome trace written
+//! by `trace_dump` (default `BENCH_trace.json` at the workspace root)
+//! instead of the figures document: every event line must parse, sync
+//! spans on each track must nest (a child may not straddle its
+//! parent's end) and end inside the recorded makespan, async
+//! begin/end pairs must balance id-for-id, and the event population
+//! must reconcile exactly with the `ServiceReport` counters embedded
+//! in `otherData` — one async lifetime span per query served, one
+//! `fault.kill` instant per failover, one `redispatch` instant per
+//! lost sub-query, and a total event count matching the recorder's.
+//!
 //! Usage: run the `figures` bench first, then
 //! `cargo run -p hipe-bench --bin check_figures`. The file location
 //! follows the bench's convention: `HIPE_BENCH_JSON` if set, else
@@ -61,6 +72,10 @@
 //! The parser is intentionally a small line scanner (the workspace is
 //! offline: no serde); it understands exactly the shape the bench
 //! writes.
+
+// The bench harness is the terminal boundary of the workspace: the
+// library-wide print lints stop here.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::process::ExitCode;
 
@@ -95,6 +110,31 @@ const SKIP_TIGHT_POINTS: [&str; 2] = ["skip_1%", "skip_3%"];
 const PERF_POINTS: [&str; 3] = ["perf_materialize", "perf_generate", "perf_engine"];
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(at) = args.iter().position(|a| a == "--trace") {
+        let path = args.get(at + 1).cloned().unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json").into()
+        });
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e} (run trace_dump first)")),
+        };
+        return match check_trace(&text) {
+            Ok((events, queries)) => {
+                println!(
+                    "check_figures: {path} ok ({events} trace events, \
+                     {queries} query spans reconciled)"
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
+    }
+    if let Some(unknown) = args.first() {
+        return fail(&format!(
+            "unknown argument `{unknown}` (only --trace [PATH] is accepted)"
+        ));
+    }
     let path = std::env::var("HIPE_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json").into()
     });
@@ -489,6 +529,215 @@ fn arch_field(block: &str, arch: &str, field: &str) -> Option<u64> {
     let at = obj.find(&key)? + key.len();
     let digits: String = obj[at..].chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------
+// Trace validation (`--trace`): the Chrome trace written by trace_dump.
+// ---------------------------------------------------------------------
+
+/// Extracts integer `key` from the trace's `otherData` header. The
+/// header grammar puts a space after the colon (`"key": 42`); event
+/// lines use `"key":42` with no space, so the two scans cannot match
+/// each other's fields.
+fn other_num(head: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\": ");
+    let at = head
+        .find(&pat)
+        .ok_or_else(|| format!("otherData is missing `{key}`"))?;
+    let digits: String = head[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("otherData `{key}` is not a non-negative integer"))
+}
+
+/// Extracts integer `key` from one event line (`"key":42`).
+fn evt_num(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts string `key` from one event line (`"key":"value"`). The
+/// structural fields this reads (`ph`, `name`) never contain escapes.
+fn evt_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+/// Validates a Chrome trace document; returns `(events, query spans)`
+/// on success.
+///
+/// Checks, in order: every event line parses with the structural
+/// fields its phase requires; sync spans on each track nest properly
+/// (sorted by start, a span must close before the enclosing span's
+/// end) and end within the recorded makespan; async begin/end events
+/// pair one-to-one by id with `end.ts >= begin.ts`; and the event
+/// population reconciles with the `ServiceReport` counters in
+/// `otherData` — async spans on the `queries` track == queries
+/// served, `fault.kill` instants == failovers, `redispatch` instants
+/// == re-dispatched sub-queries, total events == the recorder's count.
+fn check_trace(text: &str) -> Result<(u64, u64), String> {
+    use std::collections::BTreeMap;
+
+    let events_at = text
+        .find("\"traceEvents\": [")
+        .ok_or("not a trace document (missing \"traceEvents\" array)")?;
+    let head = &text[..events_at];
+    let queries = other_num(head, "queries")?;
+    let failovers = other_num(head, "failovers")?;
+    let redispatched = other_num(head, "redispatched")?;
+    let events = other_num(head, "events")?;
+    let makespan = other_num(head, "makespan_cyc")?;
+
+    let mut queries_tid: Option<u64> = None;
+    let mut sync_spans: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut begins: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // id -> (tid, ts)
+    let mut ends: BTreeMap<u64, u64> = BTreeMap::new(); // id -> ts
+    let (mut x_count, mut i_count, mut c_count) = (0u64, 0u64, 0u64);
+    let (mut kills, mut redispatches) = (0u64, 0u64);
+
+    for raw in text[events_at..].lines() {
+        let line = raw.trim_start().trim_end_matches(',');
+        if !line.starts_with("{\"ph\":\"") {
+            continue;
+        }
+        let ph = evt_str(line, "ph").ok_or_else(|| format!("event has no phase: {line}"))?;
+        if ph == "M" {
+            if evt_str(line, "name") == Some("thread_name")
+                && line.contains("\"args\":{\"name\":\"queries\"}")
+            {
+                queries_tid = Some(evt_num(line, "tid").ok_or("thread_name record without a tid")?);
+            }
+            continue;
+        }
+        let tid = evt_num(line, "tid").ok_or_else(|| format!("event has no tid: {line}"))?;
+        let ts = evt_num(line, "ts").ok_or_else(|| format!("event has no ts: {line}"))?;
+        match ph {
+            "X" => {
+                let dur = evt_num(line, "dur")
+                    .ok_or_else(|| format!("complete event has no dur: {line}"))?;
+                if ts + dur > makespan {
+                    return Err(format!(
+                        "span ends at {} cyc, past the {makespan} cyc makespan: {line}",
+                        ts + dur
+                    ));
+                }
+                sync_spans.entry(tid).or_default().push((ts, dur));
+                x_count += 1;
+            }
+            "b" => {
+                let id =
+                    evt_num(line, "id").ok_or_else(|| format!("async begin has no id: {line}"))?;
+                if begins.insert(id, (tid, ts)).is_some() {
+                    return Err(format!("async id {id} begun twice"));
+                }
+            }
+            "e" => {
+                let id =
+                    evt_num(line, "id").ok_or_else(|| format!("async end has no id: {line}"))?;
+                if ts > makespan {
+                    return Err(format!(
+                        "async span ends at {ts} cyc, past the {makespan} cyc makespan: {line}"
+                    ));
+                }
+                if ends.insert(id, ts).is_some() {
+                    return Err(format!("async id {id} ended twice"));
+                }
+            }
+            "i" => {
+                match evt_str(line, "name") {
+                    Some("fault.kill") => kills += 1,
+                    Some("redispatch") => redispatches += 1,
+                    Some(_) => {}
+                    None => return Err(format!("instant has no name: {line}")),
+                }
+                i_count += 1;
+            }
+            "C" => {
+                evt_num(line, "value").ok_or_else(|| format!("counter has no value: {line}"))?;
+                c_count += 1;
+            }
+            other => return Err(format!("unknown phase `{other}`: {line}")),
+        }
+    }
+
+    // Async begin/end pairs must balance id-for-id, time-ordered.
+    if begins.len() != ends.len() {
+        return Err(format!(
+            "{} async begins but {} async ends",
+            begins.len(),
+            ends.len()
+        ));
+    }
+    for (id, (_, b_ts)) in &begins {
+        let e_ts = ends
+            .get(id)
+            .ok_or_else(|| format!("async id {id} begins but never ends"))?;
+        if e_ts < b_ts {
+            return Err(format!(
+                "async id {id} ends at {e_ts}, before its begin at {b_ts}"
+            ));
+        }
+    }
+
+    // Sync spans on each track must nest: sorted by (start asc, dur
+    // desc), every span must close before the innermost still-open
+    // enclosing span does.
+    for (tid, spans) in sync_spans.iter_mut() {
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut open: Vec<u64> = Vec::new();
+        for &(ts, dur) in spans.iter() {
+            while let Some(&end) = open.last() {
+                if end <= ts {
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&end) = open.last() {
+                if ts + dur > end {
+                    return Err(format!(
+                        "track {tid}: span [{ts}, {}] straddles its parent's end at {end}",
+                        ts + dur
+                    ));
+                }
+            }
+            open.push(ts + dur);
+        }
+    }
+
+    // The events must reconcile with the ServiceReport counters.
+    let qtid = queries_tid.ok_or("no `queries` track in the metadata records")?;
+    let query_spans = begins.values().filter(|(tid, _)| *tid == qtid).count() as u64;
+    if query_spans != queries {
+        return Err(format!(
+            "{query_spans} query lifetime spans for {queries} queries served"
+        ));
+    }
+    if kills != failovers {
+        return Err(format!(
+            "{kills} fault.kill instants for {failovers} failover(s)"
+        ));
+    }
+    if redispatches != redispatched {
+        return Err(format!(
+            "{redispatches} redispatch instants for {redispatched} re-dispatched sub-queries"
+        ));
+    }
+    let total = x_count + i_count + c_count + begins.len() as u64;
+    if total != events {
+        return Err(format!(
+            "decoded {total} events, the recorder wrote {events}"
+        ));
+    }
+    Ok((total, query_spans))
 }
 
 #[cfg(test)]
@@ -933,5 +1182,85 @@ mod tests {
     #[test]
     fn rejects_foreign_documents() {
         assert!(check("{}").is_err());
+    }
+
+    /// Renders a miniature service trace through the real writer: one
+    /// query, one failover, one redispatch, eight recorder events.
+    fn sample_trace(queries: u64, failovers: u64, redispatched: u64) -> String {
+        use hipe_trace::{TraceSink, Tracer, TrackKind};
+        let mut t = Tracer::new();
+        let adm = t.track("admission", TrackKind::Sync);
+        let fe = t.track("front-end", TrackKind::Sync);
+        let q = t.track("queries", TrackKind::Async);
+        let eng = t.track("s0.r0 engine", TrackKind::Sync);
+        t.instant(adm, "arrival", 0, vec![("tag", 0usize.into())]);
+        t.counter(adm, "batch_fill", 0, 1);
+        t.span_on(fe, "batch 0", 5, 10, vec![("queries", 1usize.into())]);
+        t.span_on(q, "q0", 0, 40, vec![("tag", 0usize.into())]);
+        t.span_on(eng, "q0", 10, 40, vec![]);
+        t.span_on(eng, "scan", 12, 30, vec![]);
+        t.instant(eng, "fault.kill", 20, vec![]);
+        t.instant(fe, "redispatch", 25, vec![("shard", 0usize.into())]);
+        let other = [
+            ("queries", queries.to_string()),
+            ("makespan_cyc", "40".to_string()),
+            ("failovers", failovers.to_string()),
+            ("redispatched", redispatched.to_string()),
+            ("events", t.len().to_string()),
+        ];
+        t.to_chrome_json(&other)
+    }
+
+    #[test]
+    fn trace_roundtrip_validates() {
+        assert_eq!(check_trace(&sample_trace(1, 1, 1)), Ok((8, 1)));
+    }
+
+    #[test]
+    fn trace_catches_report_reconciliation_drift() {
+        let err = check_trace(&sample_trace(2, 1, 1)).unwrap_err();
+        assert!(err.contains("query lifetime spans"), "{err}");
+        let err = check_trace(&sample_trace(1, 0, 1)).unwrap_err();
+        assert!(err.contains("fault.kill"), "{err}");
+        let err = check_trace(&sample_trace(1, 1, 2)).unwrap_err();
+        assert!(err.contains("redispatch instants"), "{err}");
+        let text = sample_trace(1, 1, 1).replace("\"events\": 8", "\"events\": 9");
+        let err = check_trace(&text).unwrap_err();
+        assert!(err.contains("recorder wrote 9"), "{err}");
+    }
+
+    #[test]
+    fn trace_catches_spans_that_straddle_or_escape_the_run() {
+        // The scan child [12, 30] stretched to end at 45 straddles its
+        // parent engine span's end at 40 (makespan raised out of the
+        // way so only the nesting check can fire).
+        let text = sample_trace(1, 1, 1)
+            .replace("\"makespan_cyc\": 40", "\"makespan_cyc\": 60")
+            .replace("\"ts\":12,\"dur\":18", "\"ts\":12,\"dur\":33");
+        let err = check_trace(&text).unwrap_err();
+        assert!(err.contains("straddles"), "{err}");
+        // A span past the recorded makespan is rejected outright.
+        let text = sample_trace(1, 1, 1).replace("\"makespan_cyc\": 40", "\"makespan_cyc\": 39");
+        let err = check_trace(&text).unwrap_err();
+        assert!(err.contains("past the 39 cyc makespan"), "{err}");
+    }
+
+    #[test]
+    fn trace_catches_unbalanced_async_pairs() {
+        // Retag the async end as a second begin with a fresh id: the
+        // original id never ends.
+        let text = sample_trace(1, 1, 1).replace(
+            "{\"ph\":\"e\",\"pid\":0,\"tid\":2,\"ts\":40,\"id\":0",
+            "{\"ph\":\"b\",\"pid\":0,\"tid\":2,\"ts\":40,\"id\":7",
+        );
+        let err = check_trace(&text).unwrap_err();
+        assert!(err.contains("async"), "{err}");
+    }
+
+    #[test]
+    fn trace_rejects_foreign_documents() {
+        assert!(check_trace("{}").is_err());
+        let err = check_trace("{\"traceEvents\": [\n]\n}").unwrap_err();
+        assert!(err.contains("otherData"), "{err}");
     }
 }

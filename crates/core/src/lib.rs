@@ -95,6 +95,6 @@ pub use backend::{
 };
 pub use hipe_compiler::CompileError;
 pub use hipe_db::{PruneStats, TableShape, ZoneMap};
-pub use report::{Arch, PartitionPhase, PhaseBreakdown, RunReport};
+pub use report::{Arch, PartitionPhase, PhaseBreakdown, RunReport, TraceCtx};
 pub use session::{PlanCache, Session};
 pub use system::{System, SystemConfig};

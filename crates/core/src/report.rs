@@ -7,6 +7,7 @@ use hipe_db::Bitmask;
 use hipe_hmc::{EnergyBreakdown, HmcStats};
 use hipe_logic::EngineStats;
 use hipe_sim::Cycle;
+use hipe_trace::{Metrics, TraceSink, TrackId};
 
 /// The simulated architectures.
 ///
@@ -182,6 +183,143 @@ impl RunReport {
             self.result.matches as f64 / self.result.bitmask.len() as f64
         }
     }
+
+    /// Emits this run onto `track` of `sink` as a `name`d span at
+    /// absolute cycle `at`, with the phase breakdown nested inside it:
+    /// `dispatch` (omitted on the x86 baseline, whose in-place scan
+    /// has no separate dispatch phase), `scan`, and `gather` when the
+    /// query aggregates. A zone-map pruning decision becomes a
+    /// `zonemap` instant, and each partition contributes a
+    /// `dram_bytes` counter sample at its scan-completion cycle.
+    ///
+    /// Emission only *reads* the report — tracing can never perturb
+    /// the cycle accounting it describes.
+    pub fn trace_into(&self, sink: &mut dyn TraceSink, track: TrackId, at: Cycle, name: &str) {
+        sink.span_on(
+            track,
+            name,
+            at,
+            at + self.cycles,
+            vec![
+                ("arch", self.arch.to_string().into()),
+                ("matches", self.result.matches.into()),
+                ("regions_scanned", self.regions_scanned.into()),
+                ("regions_pruned", self.regions_pruned.into()),
+            ],
+        );
+        if self.regions_pruned > 0 {
+            sink.instant(
+                track,
+                "zonemap",
+                at,
+                vec![
+                    ("scanned", self.regions_scanned.into()),
+                    ("pruned", self.regions_pruned.into()),
+                ],
+            );
+        }
+        if self.cycles == 0 {
+            // A zone-map-skipped sub-query: no phases to show.
+            return;
+        }
+        let p = self.phases;
+        let dispatch_end = if p.dispatch < p.scan { p.dispatch } else { 0 };
+        if dispatch_end > 0 {
+            sink.span_on(track, "dispatch", at, at + dispatch_end, Vec::new());
+        }
+        sink.span_on(
+            track,
+            "scan",
+            at + dispatch_end,
+            at + p.scan,
+            vec![("partitions", self.partitions.len().into())],
+        );
+        if p.gather_aggregate > 0 {
+            sink.span_on(
+                track,
+                "gather",
+                at + p.scan,
+                at + p.scan + p.gather_aggregate,
+                Vec::new(),
+            );
+        }
+        for part in &self.partitions {
+            sink.counter(track, "dram_bytes", at + part.scan, part.dram_bytes);
+        }
+    }
+
+    /// Emits each partition's scan as a span on its own track (one
+    /// viewer row per vault-group engine), placed at absolute cycle
+    /// `at` — partitions run concurrently, so they cannot share a
+    /// sync track.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tracks` holds exactly one track per partition.
+    pub fn trace_partitions_into(&self, sink: &mut dyn TraceSink, tracks: &[TrackId], at: Cycle) {
+        assert_eq!(
+            tracks.len(),
+            self.partitions.len(),
+            "one track per partition"
+        );
+        for (part, &track) in self.partitions.iter().zip(tracks) {
+            sink.span_on(
+                track,
+                &format!("p{} scan", part.partition),
+                at + part.dispatch,
+                at + part.scan,
+                vec![
+                    ("first_vault", part.first_vault.into()),
+                    ("vaults", part.vaults.into()),
+                    ("instructions", part.instructions.into()),
+                    ("dram_bytes", part.dram_bytes.into()),
+                ],
+            );
+        }
+    }
+
+    /// Projects every component counter of this run into `metrics`
+    /// under `prefix` (e.g. `"shard0."`): core, cube, cache and
+    /// engine activity, zone-map decisions, and a per-partition
+    /// scan-completion histogram — one uniform namespace instead of
+    /// four ad-hoc stats structs.
+    pub fn export_metrics(&self, prefix: &str, metrics: &mut Metrics) {
+        metrics.gauge_set(&format!("{prefix}cycles"), self.cycles as i64);
+        metrics.gauge_set(&format!("{prefix}matches"), self.result.matches as i64);
+        metrics.counter_add(
+            &format!("{prefix}zonemap.regions_scanned"),
+            self.regions_scanned as u64,
+        );
+        metrics.counter_add(
+            &format!("{prefix}zonemap.regions_pruned"),
+            self.regions_pruned as u64,
+        );
+        self.core.export_metrics(prefix, metrics);
+        self.hmc.export_metrics(prefix, metrics);
+        if let Some(cache) = &self.cache {
+            cache.export_metrics(prefix, metrics);
+        }
+        if let Some(engine) = &self.engine {
+            engine.export_metrics(prefix, metrics);
+        }
+        for part in &self.partitions {
+            metrics.observe(&format!("{prefix}partition.scan_cyc"), part.scan);
+            metrics.counter_add(&format!("{prefix}partition.dram_bytes"), part.dram_bytes);
+        }
+    }
+}
+
+/// Where and when a traced execution should emit: the sink, the track
+/// to emit onto, and the absolute cycle the run is placed at. Bundled
+/// so the seam through the stack stays a single
+/// `Option<TraceCtx<'_>>` argument.
+pub struct TraceCtx<'a> {
+    /// Recorder to emit into.
+    pub sink: &'a mut dyn TraceSink,
+    /// Track the run's spans land on.
+    pub track: TrackId,
+    /// Absolute cycle of the run's start.
+    pub at: Cycle,
 }
 
 impl std::fmt::Display for RunReport {

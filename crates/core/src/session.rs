@@ -185,6 +185,25 @@ impl<'a> Session<'a> {
         self.run_plan(&plan)
     }
 
+    /// Like [`run`](Self::run), emitting the run's phase spans into
+    /// the trace context when one is given. `None` takes a single
+    /// branch and is otherwise the exact [`run`](Self::run) path, and
+    /// emission happens strictly after execution from the finished
+    /// [`RunReport`] — so the report (cycles, masks, digests) is
+    /// bit-identical whether or not the run is traced.
+    pub fn run_traced(
+        &mut self,
+        arch: Arch,
+        query: &Query,
+        trace: Option<crate::TraceCtx<'_>>,
+    ) -> RunReport {
+        let report = self.run(arch, query);
+        if let Some(ctx) = trace {
+            report.trace_into(ctx.sink, ctx.track, ctx.at, "query");
+        }
+        report
+    }
+
     /// The session's cached plan for `(arch, query)`, compiling it on
     /// first use.
     pub fn plan(&mut self, arch: Arch, query: &Query) -> Arc<ExecutablePlan> {

@@ -31,6 +31,17 @@ impl EngineStats {
         self += other;
         self
     }
+
+    /// Adds the counters into a [`Metrics`](hipe_trace::Metrics) registry under
+    /// `{prefix}engine.*`.
+    pub fn export_metrics(&self, prefix: &str, metrics: &mut hipe_trace::Metrics) {
+        metrics.counter_add(&format!("{prefix}engine.instructions"), self.instructions);
+        metrics.counter_add(&format!("{prefix}engine.dram_loads"), self.dram_loads);
+        metrics.counter_add(&format!("{prefix}engine.dram_stores"), self.dram_stores);
+        metrics.counter_add(&format!("{prefix}engine.alu_ops"), self.alu_ops);
+        metrics.counter_add(&format!("{prefix}engine.squashed"), self.squashed);
+        metrics.counter_add(&format!("{prefix}engine.blocks"), self.blocks);
+    }
 }
 
 impl std::ops::AddAssign for EngineStats {

@@ -617,7 +617,7 @@ impl std::fmt::Display for ClusterReport {
         )?;
         for (i, r) in self.shard_reports.iter().enumerate() {
             let sep = if i == 0 { ' ' } else { '/' };
-            write!(f, "{sep}{}", r.cycles)?;
+            write!(f, "{sep}s{i}:{}", r.cycles)?;
         }
         write!(f, "]")
     }

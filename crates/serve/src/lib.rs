@@ -79,4 +79,6 @@ pub use cluster::{
 };
 pub use fault::FaultPlan;
 pub use routing::{FastestReplica, LeastOutstanding, RoundRobin, RouteCtx, Router, RoutingPolicy};
-pub use service::{run_service, LatencySummary, LoadModel, ServiceConfig, ServiceReport};
+pub use service::{
+    run_service, run_service_traced, LatencySummary, LoadModel, ServiceConfig, ServiceReport,
+};

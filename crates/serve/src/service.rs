@@ -25,10 +25,11 @@
 use crate::cluster::{Cluster, ClusterReport, MERGE_CYCLES_PER_SHARD};
 use crate::fault::{self, FaultPlan};
 use crate::routing::{RouteCtx, Router, RoutingPolicy};
-use hipe::Arch;
+use hipe::{Arch, PhaseBreakdown};
 use hipe_db::scan::ScanResult;
 use hipe_db::{Query, SplitMix64};
 use hipe_sim::{Cycle, Freq, Samples, ServeOutcome, Server, Window};
+use hipe_trace::{TraceSink, TrackId, TrackKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -152,10 +153,26 @@ pub struct LatencySummary {
     pub p95: Cycle,
     /// 99th percentile latency.
     pub p99: Cycle,
+    /// 99.9th percentile latency.
+    pub p999: Cycle,
     /// Mean latency.
     pub mean: f64,
     /// Worst latency.
     pub max: Cycle,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (zeros when empty).
+    fn of(samples: &mut Samples) -> LatencySummary {
+        LatencySummary {
+            p50: samples.p50().unwrap_or(0),
+            p95: samples.p95().unwrap_or(0),
+            p99: samples.p99().unwrap_or(0),
+            p999: samples.p999().unwrap_or(0),
+            mean: samples.mean(),
+            max: samples.max().unwrap_or(0),
+        }
+    }
 }
 
 /// What one service run measured.
@@ -173,6 +190,12 @@ pub struct ServiceReport {
     pub makespan: Cycle,
     /// Arrival-to-completion latency distribution.
     pub latency: LatencySummary,
+    /// Scatter-to-completion latency distribution of the individual
+    /// per-shard sub-queries (queueing at the chosen replica included,
+    /// gather merge excluded). Each shard accumulates its own
+    /// [`Samples`]; the report folds them into one distribution with
+    /// [`Samples::merge`].
+    pub subquery_latency: LatencySummary,
     /// Busy cycles per shard, summed over its replicas (for a
     /// single-replica cluster this is the per-cube busy of old).
     pub shard_busy: Vec<Cycle>,
@@ -304,7 +327,7 @@ impl std::fmt::Display for ServiceReport {
         write!(
             f,
             "{} x{} shards x{} replicas: {} queries in {} cyc ({} q/Gcyc), \
-             latency p50/p95/p99 {}/{}/{} cyc, util",
+             latency p50/p95/p99/p999 {}/{}/{}/{} cyc, util",
             self.arch,
             self.shards,
             self.replicas,
@@ -314,10 +337,24 @@ impl std::fmt::Display for ServiceReport {
             self.latency.p50,
             self.latency.p95,
             self.latency.p99,
+            self.latency.p999,
         )?;
         for s in 0..self.shards {
             let sep = if s == 0 { ' ' } else { '/' };
-            write!(f, "{sep}{:.0}%", 100.0 * self.utilization(s))?;
+            write!(f, "{sep}s{s}:{:.0}%", 100.0 * self.utilization(s))?;
+        }
+        if self.replicas > 1 {
+            write!(f, ", replica util")?;
+            for s in 0..self.shards {
+                for r in 0..self.replicas {
+                    let sep = if s == 0 && r == 0 { ' ' } else { '/' };
+                    write!(
+                        f,
+                        "{sep}s{s}.r{r}:{:.0}%",
+                        100.0 * self.replica_utilization(s, r)
+                    )?;
+                }
+            }
         }
         if self.failovers > 0 {
             write!(
@@ -375,12 +412,87 @@ impl Replica {
     }
 }
 
+/// Trace plumbing of one service run: the sink plus the tracks the
+/// scheduler emits onto — admission and front-end rows, an async
+/// `queries` row for overlapping arrival-to-completion lifetimes, and
+/// one sync row per shard×replica engine.
+struct SchedTrace<'a> {
+    sink: &'a mut dyn TraceSink,
+    admission: TrackId,
+    frontend: TrackId,
+    queries: TrackId,
+    /// `replica_tracks[shard][replica]`.
+    replica_tracks: Vec<Vec<TrackId>>,
+    /// Batches dispatched so far (names the front-end spans).
+    batches: u64,
+}
+
+impl<'a> SchedTrace<'a> {
+    /// Registers the run's tracks on `sink`.
+    fn new(sink: &'a mut dyn TraceSink, shards: usize, replicas: usize) -> Self {
+        let admission = sink.track("admission", TrackKind::Sync);
+        let frontend = sink.track("front-end", TrackKind::Sync);
+        let queries = sink.track("queries", TrackKind::Async);
+        let replica_tracks = (0..shards)
+            .map(|s| {
+                (0..replicas)
+                    .map(|r| sink.track(&format!("s{s}.r{r} engine"), TrackKind::Sync))
+                    .collect()
+            })
+            .collect();
+        SchedTrace {
+            sink,
+            admission,
+            frontend,
+            queries,
+            replica_tracks,
+            batches: 0,
+        }
+    }
+}
+
+/// Emits the measured phase breakdown of one sub-query nested inside
+/// its replica-execute span starting at `start` (the replica's
+/// occupancy begin). Mirrors `RunReport::trace_into`: no `dispatch`
+/// child when dispatch coincides with scan (the x86 in-place path).
+fn trace_phases(sink: &mut dyn TraceSink, track: TrackId, ph: PhaseBreakdown, start: Cycle) {
+    let dispatch_end = if ph.dispatch < ph.scan {
+        ph.dispatch
+    } else {
+        0
+    };
+    if dispatch_end > 0 {
+        sink.span_on(track, "dispatch", start, start + dispatch_end, Vec::new());
+    }
+    if ph.scan > 0 {
+        sink.span_on(
+            track,
+            "scan",
+            start + dispatch_end,
+            start + ph.scan,
+            Vec::new(),
+        );
+    }
+    if ph.gather_aggregate > 0 {
+        sink.span_on(
+            track,
+            "gather",
+            start + ph.scan,
+            start + ph.scan + ph.gather_aggregate,
+            Vec::new(),
+        );
+    }
+}
+
 /// The event-loop state: front end, replica servers, admission window.
 struct Scheduler<'a> {
     cfg: &'a ServiceConfig,
     /// Measured cycles of mix query `q` on replica `r` of shard `s`:
     /// `durations[q][s][r]`.
     durations: &'a [Vec<Vec<Cycle>>],
+    /// Measured phase breakdowns, same shape as
+    /// [`durations`](Self::durations) (read only when tracing).
+    phases: &'a [Vec<Vec<PhaseBreakdown>>],
     /// `skipped[q][s]`: the profile pass found shard `s`'s zone-map
     /// rollup prunes mix query `q` entirely — the scheduler never
     /// scatters that sub-query (no replica occupancy, no merge share).
@@ -393,19 +505,28 @@ struct Scheduler<'a> {
     batch: Vec<Pending>,
     batch_cap: usize,
     latencies: Samples,
+    /// Scatter-to-completion sub-query latencies, one sample set per
+    /// shard (merged into the report's
+    /// [`subquery_latency`](ServiceReport::subquery_latency)).
+    shard_latencies: Vec<Samples>,
     makespan: Cycle,
     batching_delay: Cycle,
     redispatched: u64,
     /// Scratch arrival buffer for group admission.
     arrivals: Vec<Cycle>,
+    /// Trace emission state (`None` = tracing off, the zero-cost
+    /// default).
+    trace: Option<SchedTrace<'a>>,
 }
 
 impl<'a> Scheduler<'a> {
     fn new(
         cfg: &'a ServiceConfig,
         durations: &'a [Vec<Vec<Cycle>>],
+        phases: &'a [Vec<Vec<PhaseBreakdown>>],
         skipped: &'a [Vec<bool>],
         cluster: &Cluster,
+        trace: Option<SchedTrace<'a>>,
     ) -> Self {
         // A closed loop can never fill a batch beyond its client pool;
         // capping avoids waiting for arrivals that cannot happen.
@@ -430,6 +551,7 @@ impl<'a> Scheduler<'a> {
         Scheduler {
             cfg,
             durations,
+            phases,
             skipped,
             frontend: Server::new(),
             replicas,
@@ -438,10 +560,12 @@ impl<'a> Scheduler<'a> {
             batch: Vec::with_capacity(batch_cap),
             batch_cap,
             latencies: Samples::new(),
+            shard_latencies: vec![Samples::new(); cluster.shards()],
             makespan: 0,
             batching_delay: 0,
             redispatched: 0,
             arrivals: Vec::with_capacity(batch_cap),
+            trace,
         }
     }
 
@@ -453,6 +577,16 @@ impl<'a> Scheduler<'a> {
             query,
             arrival,
         });
+        if let Some(t) = &mut self.trace {
+            t.sink.instant(
+                t.admission,
+                "arrival",
+                arrival,
+                vec![("tag", tag.into()), ("mix", query.into())],
+            );
+            t.sink
+                .counter(t.admission, "batch_fill", arrival, self.batch.len() as u64);
+        }
         if self.batch.len() >= self.batch_cap {
             self.dispatch()
         } else {
@@ -487,7 +621,26 @@ impl<'a> Scheduler<'a> {
         }
         let ready = self.window.admit_group(&self.arrivals);
         let cost = self.cfg.batch_setup + self.cfg.per_query_dispatch * self.batch.len() as Cycle;
-        let (_, scattered) = self.frontend.serve(ready, cost);
+        let (setup, scattered) = self.frontend.serve(ready, cost);
+        if let Some(t) = &mut self.trace {
+            t.sink.instant(
+                t.admission,
+                "admit",
+                ready,
+                vec![("queries", self.batch.len().into())],
+            );
+            t.sink.span_on(
+                t.frontend,
+                &format!("batch {}", t.batches),
+                setup,
+                scattered,
+                vec![
+                    ("queries", self.batch.len().into()),
+                    ("setup_cyc", cost.into()),
+                ],
+            );
+            t.batches += 1;
+        }
         // Scatter each member to exactly one replica of every shard
         // the query can touch (the router picks which replica); a
         // replica serves one sub-query at a time, so members queue per
@@ -503,13 +656,34 @@ impl<'a> Scheduler<'a> {
             let merge = (answering.len().max(1) as Cycle - 1) * MERGE_CYCLES_PER_SHARD;
             let slowest = answering
                 .iter()
-                .map(|&s| self.route_and_serve(p.query, s, scattered))
+                .map(|&s| self.route_and_serve(p.tag, p.query, s, scattered))
                 .max()
                 .unwrap_or(scattered);
             let completion = slowest + merge;
             self.window.complete(completion);
             self.latencies.push(completion - p.arrival);
             self.makespan = self.makespan.max(completion);
+            if let Some(t) = &mut self.trace {
+                if merge > 0 {
+                    t.sink.instant(
+                        t.queries,
+                        "gather",
+                        slowest,
+                        vec![("tag", p.tag.into()), ("merge_cyc", merge.into())],
+                    );
+                }
+                t.sink.span_on(
+                    t.queries,
+                    &format!("q{}", p.query),
+                    p.arrival,
+                    completion,
+                    vec![
+                        ("tag", p.tag.into()),
+                        ("mix", p.query.into()),
+                        ("shards", answering.len().into()),
+                    ],
+                );
+            }
             served.push(Served {
                 tag: p.tag,
                 completion,
@@ -522,7 +696,8 @@ impl<'a> Scheduler<'a> {
     /// `at` and serves it there, failing over to a survivor if the
     /// chosen replica is (or goes) dark; returns the sub-query's
     /// completion cycle.
-    fn route_and_serve(&mut self, query: usize, shard: usize, mut at: Cycle) -> Cycle {
+    fn route_and_serve(&mut self, tag: usize, query: usize, shard: usize, mut at: Cycle) -> Cycle {
+        let dispatched = at;
         // Scratch per-replica state for the router's context.
         let mut alive = Vec::with_capacity(self.replicas[shard].len());
         let mut next_free = Vec::with_capacity(alive.capacity());
@@ -559,17 +734,13 @@ impl<'a> Scheduler<'a> {
             );
             let duration = self.durations[query][shard][r];
             let replica = &mut self.replicas[shard][r];
-            match replica.fail_at {
+            let served = match replica.fail_at {
                 None => {
-                    let (_, end) = replica.server.serve(at, duration);
-                    replica.inflight.push(Reverse(end));
-                    return end;
+                    let (start, end) = replica.server.serve(at, duration);
+                    Some((start, end))
                 }
                 Some(fail) => match replica.server.serve_until(at, duration, fail) {
-                    ServeOutcome::Done { end, .. } => {
-                        replica.inflight.push(Reverse(end));
-                        return end;
-                    }
+                    ServeOutcome::Done { start, end } => Some((start, end)),
                     // The replica died with this sub-query queued or
                     // in service: the front end notices at
                     // `fail + fault_detect` and re-dispatches to a
@@ -578,11 +749,46 @@ impl<'a> Scheduler<'a> {
                     // candidate and the loop terminates (every shard
                     // keeps a never-failing replica, validated up
                     // front).
-                    ServeOutcome::Cut { .. } | ServeOutcome::Refused => {
-                        self.redispatched += 1;
-                        at = fail + self.cfg.fault_detect + self.cfg.redispatch_cost;
-                    }
+                    ServeOutcome::Cut { .. } | ServeOutcome::Refused => None,
                 },
+            };
+            match served {
+                Some((start, end)) => {
+                    self.replicas[shard][r].inflight.push(Reverse(end));
+                    self.shard_latencies[shard].push(end - dispatched);
+                    if let Some(t) = &mut self.trace {
+                        let track = t.replica_tracks[shard][r];
+                        t.sink.span_on(
+                            track,
+                            &format!("q{query}"),
+                            start,
+                            end,
+                            vec![("tag", tag.into()), ("queued_cyc", (start - at).into())],
+                        );
+                        trace_phases(t.sink, track, self.phases[query][shard][r], start);
+                    }
+                    return end;
+                }
+                None => {
+                    let fail = self.replicas[shard][r]
+                        .fail_at
+                        .expect("only a fault plan can cut a sub-query");
+                    self.redispatched += 1;
+                    at = fail + self.cfg.fault_detect + self.cfg.redispatch_cost;
+                    if let Some(t) = &mut self.trace {
+                        t.sink.instant(
+                            t.frontend,
+                            "redispatch",
+                            at,
+                            vec![
+                                ("tag", tag.into()),
+                                ("mix", query.into()),
+                                ("shard", shard.into()),
+                                ("replica", r.into()),
+                            ],
+                        );
+                    }
+                }
             }
         }
     }
@@ -606,6 +812,30 @@ impl<'a> Scheduler<'a> {
 /// mix, a zero batch, zero admitted queries in flight, or a fault plan
 /// that is out of range or leaves some shard with no survivor.
 pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
+    run_service_traced(cluster, cfg, None)
+}
+
+/// [`run_service`] with an optional trace sink.
+///
+/// When a sink is given the run emits its full query lifecycle in the
+/// simulated-cycle domain: `arrival`/`admit` instants and a
+/// `batch_fill` counter on the admission track, batch spans and
+/// `redispatch` instants on the front-end track, one async span per
+/// query (arrival to completion, with a `gather` instant at the merge
+/// point), nested dispatch/scan/gather execute spans on one track per
+/// shard×replica engine, and `fault.kill` / `fault.detect` instants on
+/// the dying replica's track.
+///
+/// Tracing is observational by construction: the scheduler replays
+/// durations measured by the profile pass and emission only *reads*
+/// event-loop state, so every reported number — makespan, latencies,
+/// digests — is bit-identical to the untraced run (asserted by the
+/// workspace's trace determinism tests).
+pub fn run_service_traced(
+    cluster: &Cluster,
+    cfg: &ServiceConfig,
+    trace: Option<&mut dyn TraceSink>,
+) -> ServiceReport {
     assert!(cfg.queries > 0, "a service run needs at least one query");
     assert!(!cfg.mix.is_empty(), "the query mix is empty");
     assert!(cfg.batch > 0, "batch size must be non-zero");
@@ -636,17 +866,20 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     // and failover to re-pick — without changing the service answer.
     let mut session = cluster.session();
     let mut durations: Vec<Vec<Vec<Cycle>>> = Vec::with_capacity(cfg.mix.len());
+    let mut phases: Vec<Vec<Vec<PhaseBreakdown>>> = Vec::with_capacity(cfg.mix.len());
     let mut skipped: Vec<Vec<bool>> = Vec::with_capacity(cfg.mix.len());
     let mut answers: Vec<ScanResult> = Vec::with_capacity(cfg.mix.len());
     for (q, (query, _)) in cfg.mix.iter().enumerate() {
         // durations[q][s][r], built replica-major then transposed.
         let mut per_shard: Vec<Vec<Cycle>> = vec![Vec::new(); cluster.shards()];
+        let mut shard_phases: Vec<Vec<PhaseBreakdown>> = vec![Vec::new(); cluster.shards()];
         let mut reference: Option<ClusterReport> = None;
         for r in 0..cluster.replicas() {
             let route = vec![r; cluster.shards()];
             let report = session.run_routed(cfg.arch, query, &route);
             for (s, shard_report) in report.shard_reports.iter().enumerate() {
                 per_shard[s].push(shard_report.cycles);
+                shard_phases[s].push(shard_report.phases);
             }
             match &reference {
                 None => reference = Some(report),
@@ -663,6 +896,7 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
             }
         }
         durations.push(per_shard);
+        phases.push(shard_phases);
         let reference = reference.expect("clusters have at least one replica");
         skipped.push(reference.skipped);
         answers.push(reference.result);
@@ -683,7 +917,8 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
     // mix does not perturb the arrival schedule (and vice versa).
     let mut arrival_rng = SplitMix64::new(cfg.seed ^ 0xA441_7A15);
 
-    let mut sched = Scheduler::new(cfg, &durations, &skipped, cluster);
+    let sched_trace = trace.map(|sink| SchedTrace::new(sink, cluster.shards(), cluster.replicas()));
+    let mut sched = Scheduler::new(cfg, &durations, &phases, &skipped, cluster, sched_trace);
     match cfg.load {
         LoadModel::Open { mean_interarrival } => {
             let mut now = 0;
@@ -717,15 +952,28 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
         }
     }
 
-    let latency = {
-        let lat = &mut sched.latencies;
-        LatencySummary {
-            p50: lat.p50().expect("at least one query served"),
-            p95: lat.p95().expect("at least one query served"),
-            p99: lat.p99().expect("at least one query served"),
-            mean: lat.mean(),
-            max: lat.max().expect("at least one query served"),
+    // Faults that fired within the measured run: mark the kill and
+    // the front end's detection on the dead replica's track.
+    if let Some(t) = &mut sched.trace {
+        for f in cfg.faults.iter().filter(|f| f.at_cycle < sched.makespan) {
+            let track = t.replica_tracks[f.shard][f.replica];
+            t.sink.instant(track, "fault.kill", f.at_cycle, Vec::new());
+            t.sink.instant(
+                track,
+                "fault.detect",
+                f.at_cycle + cfg.fault_detect,
+                Vec::new(),
+            );
         }
+    }
+
+    let latency = LatencySummary::of(&mut sched.latencies);
+    let subquery_latency = {
+        let mut merged = Samples::new();
+        for shard in &sched.shard_latencies {
+            merged.merge(shard);
+        }
+        LatencySummary::of(&mut merged)
     };
     let replica_busy: Vec<Vec<Cycle>> = sched
         .replicas
@@ -739,6 +987,7 @@ pub fn run_service(cluster: &Cluster, cfg: &ServiceConfig) -> ServiceReport {
         queries: sched.latencies.count(),
         makespan: sched.makespan,
         latency,
+        subquery_latency,
         shard_busy: replica_busy.iter().map(|s| s.iter().sum()).collect(),
         replica_busy,
         frontend_busy: sched.frontend.busy_cycles(),

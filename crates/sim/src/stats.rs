@@ -209,6 +209,23 @@ impl Samples {
     pub fn p99(&mut self) -> Option<Cycle> {
         self.percentile(99.0)
     }
+
+    /// 99.9th percentile.
+    pub fn p999(&mut self) -> Option<Cycle> {
+        self.percentile(99.9)
+    }
+
+    /// Absorbs every sample of `other`, leaving it untouched — the
+    /// cross-shard latency merge: each shard accumulates its own
+    /// `Samples`, and the service folds them into one distribution
+    /// before taking percentiles.
+    pub fn merge(&mut self, other: &Samples) {
+        if other.values.is_empty() {
+            return;
+        }
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
 }
 
 /// A power-of-two bucketed latency histogram.
@@ -377,6 +394,76 @@ mod tests {
         assert_eq!(s.percentile(80.1), Some(50));
         assert_eq!(s.p95(), Some(50));
         assert_eq!(s.p99(), Some(50));
+    }
+
+    #[test]
+    fn p999_nearest_rank_boundaries() {
+        // n = 1000 over 1..=1000: rank ceil(99.9 * 1000 / 100) = 999.
+        let mut s = Samples::new();
+        for v in (1..=1000).rev() {
+            s.push(v);
+        }
+        assert_eq!(s.p999(), Some(999));
+        assert_eq!(s.p99(), Some(990));
+        // n = 1001: rank ceil(99.9 * 1001 / 100) = ceil(999.999) = 1000.
+        s.push(1001);
+        assert_eq!(s.p999(), Some(1000));
+        // n = 2000: rank ceil(1998.0) = 1998 — exact boundary, no
+        // overshoot from the multiply-before-divide order.
+        let mut s = Samples::new();
+        for v in 1..=2000 {
+            s.push(v);
+        }
+        assert_eq!(s.p999(), Some(1998));
+        // Tiny sample sets clamp to the maximum.
+        let mut s = Samples::new();
+        s.push(5);
+        s.push(9);
+        assert_eq!(s.p999(), Some(9));
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Samples::new();
+        let mut b = Samples::new();
+        let mut all = Samples::new();
+        for v in [50, 10, 40] {
+            a.push(v);
+            all.push(v);
+        }
+        for v in [30, 20, 60] {
+            b.push(v);
+            all.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.max(), all.max());
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a.percentile(p), all.percentile(p), "p{p}");
+        }
+        // The source is untouched, and merging it again double-counts.
+        assert_eq!(b.count(), 3);
+        a.merge(&b);
+        assert_eq!(a.count(), 9);
+    }
+
+    #[test]
+    fn merge_empty_and_into_sorted() {
+        let mut a = Samples::new();
+        a.push(3);
+        a.push(1);
+        assert_eq!(a.p50(), Some(1)); // forces the lazy sort
+        let empty = Samples::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+        let mut b = Samples::new();
+        b.push(2);
+        a.merge(&b); // must invalidate the sorted flag
+        assert_eq!(a.p50(), Some(2));
+        let mut c = Samples::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 3);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Chrome Trace Event Format rendering.
+//!
+//! The exported JSON uses the object form (`{"traceEvents": [...]}`),
+//! one event per line, with one *simulated cycle* mapped to one viewer
+//! microsecond — cycle 12_345 shows as 12.345 ms on the Perfetto
+//! timeline. All events share `pid` 0; each [`Track`](crate::Track)
+//! becomes one `tid` with a `thread_name` metadata record, so the
+//! viewer shows one named row per track in registration order.
+//!
+//! Sync-track spans render as complete (`"X"`) events with
+//! a non-negative `dur`; async-track spans render as `"b"`/`"e"`
+//! pairs keyed by the recorder-assigned id, so overlapping in-flight
+//! lifetimes display stacked instead of corrupting a thread row.
+//! The line-oriented layout is load-bearing: `check_figures --trace`
+//! validates traces with the same line scanner the figure checks use.
+
+use crate::{ArgValue, Args, TraceEvent, Tracer, TrackKind};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_args(args: &Args, out: &mut String) {
+    out.push_str(",\"args\":{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{key}\":");
+        match value {
+            ArgValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Str(v) => {
+                out.push('"');
+                escape(v, out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn push_name(name: &str, out: &mut String) {
+    out.push_str(",\"name\":\"");
+    escape(name, out);
+    out.push('"');
+}
+
+impl Tracer {
+    /// Renders the recording as Chrome Trace Event Format JSON.
+    ///
+    /// `other_data` lands verbatim in the file's `otherData` object:
+    /// each `(key, value)` pair is emitted as `"key": value` with the
+    /// value string inserted as-is, so callers pass pre-rendered JSON
+    /// values (`"12"`, `"\"HIPE\""`). The serve layer uses this to
+    /// embed the `ServiceReport` counters the trace must reconcile
+    /// with.
+    pub fn to_chrome_json(&self, other_data: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(256 + self.events().len() * 96);
+        out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {");
+        for (i, (key, value)) in other_data.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{key}\": {value}");
+        }
+        out.push_str("\n},\n\"traceEvents\": [\n");
+        out.push_str(
+            "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"hipe (simulated cycles)\"}}",
+        );
+        for (tid, track) in self.tracks().iter().enumerate() {
+            out.push_str(",\n");
+            let _ = write!(out, "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},");
+            out.push_str("\"name\":\"thread_name\",\"args\":{\"name\":\"");
+            escape(&track.name, &mut out);
+            out.push_str("\"}}");
+            out.push_str(",\n");
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            );
+        }
+        for event in self.events() {
+            out.push_str(",\n");
+            match event {
+                TraceEvent::Span { span, async_id } => {
+                    let tid = span.track.index();
+                    match self.tracks()[tid].kind {
+                        TrackKind::Sync => {
+                            debug_assert!(async_id.is_none());
+                            let _ = write!(
+                                out,
+                                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                                 \"cat\":\"hipe\"",
+                                span.begin_cycle,
+                                span.end_cycle - span.begin_cycle
+                            );
+                            push_name(&span.name, &mut out);
+                            push_args(&span.args, &mut out);
+                            out.push('}');
+                        }
+                        TrackKind::Async => {
+                            let id = async_id.expect("async spans carry an id");
+                            let _ = write!(
+                                out,
+                                "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{},\
+                                 \"id\":{id},\"cat\":\"hipe\"",
+                                span.begin_cycle
+                            );
+                            push_name(&span.name, &mut out);
+                            push_args(&span.args, &mut out);
+                            out.push('}');
+                            out.push_str(",\n");
+                            let _ = write!(
+                                out,
+                                "{{\"ph\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{},\
+                                 \"id\":{id},\"cat\":\"hipe\"",
+                                span.end_cycle
+                            );
+                            push_name(&span.name, &mut out);
+                            out.push('}');
+                        }
+                    }
+                }
+                TraceEvent::Instant {
+                    track,
+                    name,
+                    at_cycle,
+                    args,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{at_cycle},\
+                         \"s\":\"t\",\"cat\":\"hipe\"",
+                        track.index()
+                    );
+                    push_name(name, &mut out);
+                    push_args(args, &mut out);
+                    out.push('}');
+                }
+                TraceEvent::Counter {
+                    track,
+                    name,
+                    at_cycle,
+                    value,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"C\",\"pid\":0,\"tid\":{},\"ts\":{at_cycle},\"cat\":\"hipe\"",
+                        track.index()
+                    );
+                    push_name(name, &mut out);
+                    let _ = write!(out, ",\"args\":{{\"value\":{value}}}");
+                    out.push('}');
+                }
+            }
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{TraceSink, Tracer, TrackKind};
+
+    fn sample() -> Tracer {
+        let mut t = Tracer::new();
+        let fe = t.track("front-end", TrackKind::Sync);
+        let q = t.track("queries", TrackKind::Async);
+        t.span_on(fe, "batch 0", 10, 30, vec![("queries", 4usize.into())]);
+        t.span_on(q, "q0", 5, 90, vec![("tag", 1usize.into())]);
+        t.instant(fe, "redispatch", 40, vec![("shard", 0usize.into())]);
+        t.counter(fe, "batch_fill", 5, 2);
+        t
+    }
+
+    #[test]
+    fn renders_object_form_with_metadata_rows() {
+        let json = sample().to_chrome_json(&[("queries", "1".to_string())]);
+        assert!(json.starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\": ["));
+        assert!(json.contains("\"otherData\": {"));
+        assert!(json.contains("\"queries\": 1"));
+        assert!(json.contains("\"name\":\"front-end\""));
+        assert!(json.contains("\"name\":\"queries\""));
+        assert!(json.contains("thread_sort_index"));
+    }
+
+    #[test]
+    fn sync_spans_are_complete_events_and_async_spans_are_pairs() {
+        let json = sample().to_chrome_json(&[]);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":20"));
+        let begins = json.matches("\"ph\":\"b\"").count();
+        let ends = json.matches("\"ph\":\"e\"").count();
+        assert_eq!(begins, 1);
+        assert_eq!(ends, 1);
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn one_event_per_line() {
+        let json = sample().to_chrome_json(&[]);
+        let event_lines = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\"ph\""))
+            .count();
+        // 1 process_name + 2 tracks x 2 metadata + 1 X + b/e pair +
+        // 1 instant + 1 counter.
+        assert_eq!(event_lines, 10);
+    }
+
+    #[test]
+    fn escapes_quotes_and_control_characters() {
+        let mut t = Tracer::new();
+        let s = t.track("a\"b\\c\n", TrackKind::Sync);
+        t.span_on(s, "x\ty", 0, 1, vec![("label", "p\"q".into())]);
+        let json = t.to_chrome_json(&[]);
+        assert!(json.contains("a\\\"b\\\\c\\n"));
+        assert!(json.contains("x\\ty"));
+        assert!(json.contains("p\\\"q"));
+    }
+}
